@@ -1,0 +1,83 @@
+"""EXP-S1: checker scaling — reference vs pruned dynamic-atomicity checking.
+
+The reference checker enumerates linear extensions; the fast checker
+prunes dead prefixes and memoizes configurations.  On histories of
+commuting transactions the gap is factorial-vs-linear; this bench pins
+the crossover shape and keeps both checkers honest against each other.
+"""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.atomicity import is_dynamic_atomic
+from repro.core.events import commit, inv, invoke, respond
+from repro.core.fast_atomicity import fast_is_dynamic_atomic
+from repro.core.history import History
+
+BA = BankAccount(domain=(1, 2))
+
+
+def commuting_history(n: int) -> History:
+    """n concurrent deposits — n! orders, one outcome."""
+    events = []
+    for i in range(n):
+        txn = "T%02d" % i
+        events.append(invoke(inv("deposit", 1), "BA", txn))
+        events.append(respond("ok", "BA", txn))
+    for i in range(n):
+        events.append(commit("BA", "T%02d" % i))
+    return History(events)
+
+
+def contending_history(n: int) -> History:
+    """Deposits and withdrawals, serialized by commits (richer states)."""
+    events = []
+    for i in range(n):
+        txn = "T%02d" % i
+        kind = "deposit" if i % 2 == 0 else "withdraw"
+        events.append(invoke(inv(kind, 1), "BA", txn))
+        events.append(
+            respond("ok" if kind == "deposit" or i else "no", "BA", txn)
+        )
+    for i in range(n):
+        events.append(commit("BA", "T%02d" % i))
+    return History(events)
+
+
+@pytest.mark.experiment("EXP-S1")
+def test_reference_checker_small(benchmark):
+    h = commuting_history(6)
+    assert benchmark(lambda: is_dynamic_atomic(h, BA))
+
+
+@pytest.mark.experiment("EXP-S1")
+def test_fast_checker_small(benchmark):
+    h = commuting_history(6)
+    assert benchmark(lambda: fast_is_dynamic_atomic(h, BA))
+
+
+@pytest.mark.experiment("EXP-S1")
+def test_fast_checker_large(benchmark):
+    """14 concurrent transactions: 87 billion orders, ~15 configurations."""
+    h = commuting_history(14)
+    assert benchmark(lambda: fast_is_dynamic_atomic(h, BA))
+
+
+@pytest.mark.experiment("EXP-S1")
+def test_fast_checker_mixed_large(benchmark):
+    h = contending_history(10)
+    result = benchmark(lambda: fast_is_dynamic_atomic(h, BA))
+    assert isinstance(result, bool)
+
+
+@pytest.mark.experiment("EXP-S1")
+def test_checkers_agree(benchmark):
+    def agree():
+        for n in (2, 4, 6):
+            h = commuting_history(n)
+            assert fast_is_dynamic_atomic(h, BA) == is_dynamic_atomic(h, BA)
+            h2 = contending_history(n)
+            assert fast_is_dynamic_atomic(h2, BA) == is_dynamic_atomic(h2, BA)
+        return True
+
+    assert benchmark.pedantic(agree, rounds=1, iterations=1)

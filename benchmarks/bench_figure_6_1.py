@@ -1,0 +1,34 @@
+"""Figure 6-1: regenerate the forward-commutativity table for the bank account.
+
+The benchmark measures the full mechanical derivation (macro-state
+enumeration + pairwise FC decisions over the class instances) and pins
+the result to the published figure.
+"""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.experiments.figures import expected_figure_6_1, figure_6_1
+
+
+@pytest.mark.experiment("Figure 6-1")
+def test_figure_6_1_derivation(benchmark):
+    table = benchmark(lambda: figure_6_1(BankAccount()))
+    assert table.same_marks(expected_figure_6_1())
+
+
+@pytest.mark.experiment("Figure 6-1")
+def test_figure_6_1_render(benchmark, capsys):
+    table = figure_6_1()
+    rendered = benchmark(table.render_ascii)
+    with capsys.disabled():
+        print()
+        print(rendered)
+
+
+@pytest.mark.experiment("Figure 6-1")
+def test_figure_6_1_larger_domain(benchmark):
+    """The derivation scales to a larger amount domain with the same marks."""
+    ba = BankAccount(domain=(1, 2, 3, 4))
+    table = benchmark(lambda: figure_6_1(ba))
+    assert table.same_marks(expected_figure_6_1())

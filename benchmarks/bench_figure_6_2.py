@@ -1,0 +1,37 @@
+"""Figure 6-2: regenerate the right-backward-commutativity table for BA."""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.experiments.figures import expected_figure_6_2, figure_6_2
+
+
+@pytest.mark.experiment("Figure 6-2")
+def test_figure_6_2_derivation(benchmark):
+    table = benchmark(lambda: figure_6_2(BankAccount()))
+    assert table.same_marks(expected_figure_6_2())
+
+
+@pytest.mark.experiment("Figure 6-2")
+def test_figure_6_2_render(benchmark, capsys):
+    table = figure_6_2()
+    rendered = benchmark(table.render_ascii)
+    with capsys.disabled():
+        print()
+        print(rendered)
+
+
+@pytest.mark.experiment("Figure 6-2")
+def test_figure_6_2_asymmetry_analysis(benchmark):
+    """Derive the table and extract the asymmetric entries — the pairs
+    where lock-by-result beats symmetric locking under UIP."""
+
+    def derive_and_diff():
+        table = figure_6_2(BankAccount())
+        return frozenset(
+            (r, c) for (r, c) in table.marks if (c, r) not in table.marks
+        )
+
+    asymmetric = benchmark(derive_and_diff)
+    assert ("withdraw(i)/OK", "deposit(i)/ok") in asymmetric
+    assert ("withdraw(i)/NO", "withdraw(i)/OK") in asymmetric

@@ -1,0 +1,92 @@
+"""EXP-C1: concurrency on a hot-spot bank account, by operation mix.
+
+For each mix the four standard configurations run over several seeds;
+the bench asserts the *shape* the theory predicts:
+
+* withdrawal-heavy funded mix — UIP+NRBC wins (two successful
+  withdrawals conflict under NFC and 2PL, not under NRBC);
+* deposit-heavy mix — the typed relations (both) beat 2PL;
+* the symmetric closure of NRBC never beats NRBC.
+"""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.experiments.comparisons import compare, standard_configurations
+from repro.runtime import format_summary_table, hotspot_banking
+
+SEEDS = tuple(range(6))
+
+
+def run_mix(deposit, withdraw, balance):
+    return compare(
+        lambda: BankAccount("BA", opening=100),
+        lambda rng: hotspot_banking(
+            rng,
+            transactions=8,
+            ops_per_txn=3,
+            deposit_weight=deposit,
+            withdraw_weight=withdraw,
+            balance_weight=balance,
+        ),
+        seeds=SEEDS,
+    )
+
+
+@pytest.mark.experiment("EXP-C1")
+def test_withdraw_heavy_mix(benchmark, capsys):
+    summaries = benchmark.pedantic(
+        lambda: run_mix(0.0, 1.0, 0.0), rounds=1, iterations=1
+    )
+    by_label = {s.label: s for s in summaries}
+    with capsys.disabled():
+        print("\n-- EXP-C1 withdrawal-heavy (funded account) --")
+        print(format_summary_table(summaries))
+    assert by_label["UIP+NRBC"].mean_throughput > by_label["DU+NFC"].mean_throughput
+    assert (
+        by_label["UIP+NRBC"].mean_throughput
+        > by_label["UIP+2PL-rw"].mean_throughput
+    )
+
+
+@pytest.mark.experiment("EXP-C1")
+def test_deposit_heavy_mix(benchmark, capsys):
+    summaries = benchmark.pedantic(
+        lambda: run_mix(1.0, 0.0, 0.0), rounds=1, iterations=1
+    )
+    by_label = {s.label: s for s in summaries}
+    with capsys.disabled():
+        print("\n-- EXP-C1 deposit-heavy --")
+        print(format_summary_table(summaries))
+    # Blind deposits commute under both typed relations; 2PL serializes.
+    assert by_label["UIP+NRBC"].mean_throughput > by_label["UIP+2PL-rw"].mean_throughput
+    assert by_label["DU+NFC"].mean_throughput > by_label["UIP+2PL-rw"].mean_throughput
+
+
+@pytest.mark.experiment("EXP-C1")
+def test_mixed_update_mix(benchmark, capsys):
+    summaries = benchmark.pedantic(
+        lambda: run_mix(0.5, 0.5, 0.0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n-- EXP-C1 even update mix --")
+        print(format_summary_table(summaries))
+    by_label = {s.label: s for s in summaries}
+    # The asymmetric NRBC is never worse than its symmetric closure.
+    assert (
+        by_label["UIP+NRBC"].mean_throughput
+        >= by_label["UIP+sym(NRBC)"].mean_throughput
+    )
+
+
+@pytest.mark.experiment("EXP-C1")
+def test_read_heavy_mix(benchmark, capsys):
+    summaries = benchmark.pedantic(
+        lambda: run_mix(0.3, 0.3, 0.4), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n-- EXP-C1 read-heavy mix --")
+        print(format_summary_table(summaries))
+    # Reads conflict with updates under every relation here; no
+    # shape assertion beyond completion (recorded in EXPERIMENTS.md).
+    assert all(s.mean_throughput > 0 for s in summaries)

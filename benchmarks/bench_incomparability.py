@@ -1,0 +1,69 @@
+"""Section 6.4 / Section 8: NFC and NRBC are incomparable.
+
+Derives both relations for every ADT in the library and reports the
+difference sets; measures the full-library analysis cost.
+"""
+
+import pytest
+
+from repro.adts import (
+    BankAccount,
+    Counter,
+    EscrowAccount,
+    FifoQueue,
+    KVStore,
+    Register,
+    SemiQueue,
+    SetADT,
+    Stack,
+)
+from repro.experiments.figures import incomparability_report
+
+
+@pytest.mark.experiment("Incomparability (§6.4)")
+def test_bank_account_incomparability(benchmark):
+    report = benchmark(lambda: incomparability_report(BankAccount()))
+    assert report.nfc_only == {
+        ("withdraw(i)/OK", "withdraw(i)/OK"),
+        ("withdraw(i)/NO", "deposit(i)/ok"),
+    }
+    assert report.nrbc_only == {
+        ("withdraw(i)/OK", "deposit(i)/ok"),
+        ("withdraw(i)/NO", "withdraw(i)/OK"),
+    }
+
+
+@pytest.mark.experiment("Incomparability (§6.4)")
+def test_library_wide_incomparability(benchmark, capsys):
+    factories = [
+        BankAccount,
+        EscrowAccount,
+        SetADT,
+        KVStore,
+        FifoQueue,
+        SemiQueue,
+        Stack,
+    ]
+
+    def sweep():
+        return [incomparability_report(factory()) for factory in factories]
+
+    reports = benchmark(sweep)
+    assert all(r.incomparable for r in reports)
+    with capsys.disabled():
+        print()
+        for r in reports:
+            print(r.render())
+
+
+@pytest.mark.experiment("Incomparability (§6.4)")
+def test_degenerate_types_coincide(benchmark):
+    """Counter and register: the relations coincide — totality or pure
+    read/write structure collapses the distinction."""
+
+    def sweep():
+        return [incomparability_report(Counter()), incomparability_report(Register())]
+
+    reports = benchmark(sweep)
+    assert all(not r.incomparable for r in reports)
+    assert all(not r.nfc_only and not r.nrbc_only for r in reports)

@@ -1,0 +1,65 @@
+"""The paper's worked examples (Sections 3.2–3.4 and 5), re-verified.
+
+Benchmarks the checkers on the paper's own histories: Spec membership,
+atomicity, dynamic atomicity, and the UIP/DU view computations.
+"""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.atomicity import is_atomic, is_dynamic_atomic
+from repro.core.views import DU, UIP
+from repro.experiments.examples import (
+    section_3_2_sequences,
+    section_3_3_history,
+    section_3_4_perturbed_history,
+    section_5_history,
+)
+
+BA = BankAccount()
+
+
+@pytest.mark.experiment("Example §3.2")
+def test_spec_membership(benchmark):
+    legal, illegal = section_3_2_sequences(BA)
+
+    def check():
+        return BA.is_legal(legal), BA.is_legal(illegal)
+
+    ok, bad = benchmark(check)
+    assert ok and not bad
+
+
+@pytest.mark.experiment("Example §3.3")
+def test_example_history_atomic(benchmark):
+    h = section_3_3_history()
+    assert benchmark(lambda: is_atomic(h, BA))
+
+
+@pytest.mark.experiment("Example §3.4")
+def test_example_history_dynamic_atomic(benchmark):
+    h = section_3_3_history()
+    assert benchmark(lambda: is_dynamic_atomic(h, BA))
+
+
+@pytest.mark.experiment("Example §3.4")
+def test_perturbed_history_not_dynamic_atomic(benchmark):
+    h = section_3_4_perturbed_history()
+
+    def check():
+        return is_atomic(h, BA), is_dynamic_atomic(h, BA)
+
+    atomic, dynamic = benchmark(check)
+    assert atomic and not dynamic
+
+
+@pytest.mark.experiment("Example §5")
+def test_view_computations(benchmark):
+    h = section_5_history()
+
+    def views():
+        return UIP(h, "B"), UIP(h, "C"), DU(h, "B"), DU(h, "C")
+
+    uip_b, uip_c, du_b, du_c = benchmark(views)
+    assert uip_b == uip_c == du_b == (BA.deposit(5), BA.withdraw_ok(3))
+    assert du_c == (BA.deposit(5),)

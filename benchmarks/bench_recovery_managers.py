@@ -1,0 +1,85 @@
+"""EXP-C4: concrete recovery managers — equivalence and cost.
+
+Measures the two update-in-place undo strategies (logical vs replay)
+and the deferred-update intentions machinery on abort-heavy traces, and
+re-verifies on the benchmarked trace that all managers realize their
+abstract views.
+"""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.events import inv
+from repro.core.history import History
+from repro.core.object_automaton import TransactionProgram, generate_trace
+from repro.core.views import DU, UIP
+from repro.runtime.recovery import DeferredUpdateManager, UpdateInPlaceManager
+
+BA = BankAccount(domain=(1, 2))
+
+
+def _make_trace(view, conflict, seed=3, txns=5, ops=4):
+    rng = random.Random(seed)
+    programs = []
+    for i in range(txns):
+        steps = []
+        for _ in range(ops):
+            kind = rng.choice(["deposit", "withdraw", "balance"])
+            steps.append(
+                inv("balance") if kind == "balance" else inv(kind, rng.choice([1, 2]))
+            )
+        programs.append(TransactionProgram("T%d" % i, tuple(steps)))
+    return generate_trace(
+        BA, view, conflict, programs, rng, abort_probability=0.35
+    )
+
+
+UIP_TRACE = _make_trace(UIP, BA.nrbc_conflict())
+DU_TRACE = _make_trace(DU, BA.nfc_conflict())
+
+
+def replay_into(manager, trace):
+    prefix = []
+    for event in trace:
+        prefix.append(event)
+        if event.is_response:
+            h = History(prefix, validate=False)
+            manager.on_execute(event.txn, h.operations_of(event.txn)[-1])
+        elif event.is_commit:
+            manager.on_commit(event.txn)
+        elif event.is_abort:
+            manager.on_abort(event.txn)
+    return manager
+
+
+@pytest.mark.experiment("EXP-C4")
+def test_uip_logical_undo_cost(benchmark):
+    manager = benchmark(
+        lambda: replay_into(UpdateInPlaceManager(BA, strategy="logical"), UIP_TRACE)
+    )
+    assert manager.current_macro == BA.states_after(UIP(UIP_TRACE, "PROBE"))
+
+
+@pytest.mark.experiment("EXP-C4")
+def test_uip_replay_undo_cost(benchmark):
+    manager = benchmark(
+        lambda: replay_into(UpdateInPlaceManager(BA, strategy="replay"), UIP_TRACE)
+    )
+    assert manager.current_macro == BA.states_after(UIP(UIP_TRACE, "PROBE"))
+
+
+@pytest.mark.experiment("EXP-C4")
+def test_du_intentions_cost(benchmark):
+    manager = benchmark(
+        lambda: replay_into(DeferredUpdateManager(BA), DU_TRACE)
+    )
+    assert manager.base_macro == BA.states_after(DU(DU_TRACE, "PROBE"))
+
+
+@pytest.mark.experiment("EXP-C4")
+def test_abstract_view_cost(benchmark):
+    """Baseline: computing the abstract UIP view from the raw history."""
+    result = benchmark(lambda: BA.states_after(UIP(UIP_TRACE, "PROBE")))
+    assert result

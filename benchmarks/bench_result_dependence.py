@@ -1,0 +1,85 @@
+"""EXP-C7: the value of result-dependent locks (invocation-lifting ablation).
+
+Section 6 stresses that the framework defines commutativity on
+*operations* — invocation/response pairs — so "the locks acquired by an
+operation can depend on the results returned by the operation".  Prior
+type-specific schemes chose locks from the invocation alone.  This
+ablation lifts the typed relations to invocation granularity (conflict
+if *any* completion of the invocations conflicts) and measures the loss
+on a workload full of failed withdrawals, where `withdraw/NO` —
+harmless in both typed relations — inherits `withdraw/OK`'s conflicts.
+"""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.conflict import relation_difference
+from repro.experiments.comparisons import Configuration, compare
+from repro.runtime import format_summary_table, hotspot_banking, invocation_conflict
+
+
+@pytest.mark.experiment("EXP-C7")
+def test_lifting_adds_conflicts(benchmark):
+    ba = BankAccount(domain=(1, 2))
+
+    def diff():
+        base = ba.nfc_conflict()
+        lifted = invocation_conflict(ba, base)
+        return relation_difference(lifted, base, ba.ground_alphabet())
+
+    extra = benchmark(diff)
+    assert extra
+    # Two failed withdrawals now conflict (their invocations might have
+    # succeeded, and successful withdrawals conflict under NFC).
+    assert any(
+        new.response == "no" and old.response == "no" for new, old in extra
+    )
+
+
+@pytest.mark.experiment("EXP-C7")
+def test_result_dependence_throughput(benchmark, capsys):
+    """Typed (result-dependent) vs invocation-lifted locking, both UIP."""
+    configs = (
+        Configuration("UIP+NRBC", "UIP", lambda adt: adt.nrbc_conflict()),
+        Configuration(
+            "UIP+NRBC-by-invocation",
+            "UIP",
+            lambda adt: invocation_conflict(adt, adt.nrbc_conflict()),
+        ),
+        Configuration("DU+NFC", "DU", lambda adt: adt.nfc_conflict()),
+        Configuration(
+            "DU+NFC-by-invocation",
+            "DU",
+            lambda adt: invocation_conflict(adt, adt.nfc_conflict()),
+        ),
+    )
+
+    def run():
+        # An empty account under withdrawal attempts: every withdrawal
+        # fails.  Failed withdrawals commute under *both* typed
+        # relations (Figures 6-1 and 6-2 leave w/NO–w/NO blank), but a
+        # result-blind lock manager must assume they might have
+        # succeeded, so the lifted relations serialize them.
+        return compare(
+            lambda: BankAccount("BA", opening=0),
+            lambda rng: hotspot_banking(
+                rng,
+                transactions=8,
+                ops_per_txn=3,
+                deposit_weight=0.0,
+                withdraw_weight=1.0,
+                balance_weight=0.0,
+            ),
+            configurations=configs,
+            seeds=tuple(range(6)),
+        )
+
+    summaries = benchmark.pedantic(run, rounds=1, iterations=1)
+    by_label = {s.label: s for s in summaries}
+    with capsys.disabled():
+        print("\n-- EXP-C7 result-dependent vs invocation-based locks --")
+        print(format_summary_table(summaries))
+    assert (
+        by_label["DU+NFC"].mean_throughput
+        >= by_label["DU+NFC-by-invocation"].mean_throughput
+    )

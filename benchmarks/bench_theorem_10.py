@@ -1,0 +1,110 @@
+"""Theorem 10: DU is correct iff NFC ⊆ Conflict — benchmarked like Thm 9."""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.analysis.alphabet import reachable_macro_contexts
+from repro.core.conflict import EmptyConflict
+from repro.core.events import inv
+from repro.core.object_automaton import TransactionProgram
+from repro.core.theorems import find_du_counterexample, sample_correctness
+from repro.core.views import DU
+
+BA = BankAccount(domain=(1, 2))
+ALPHABET = BA.invocation_alphabet()
+CONTEXTS = [mc.context for mc in reachable_macro_contexts(BA, ALPHABET, max_depth=3)]
+
+
+@pytest.mark.experiment("Theorem 10 (only if)")
+def test_counterexample_construction(benchmark):
+    ce = benchmark(
+        lambda: find_du_counterexample(
+            BA,
+            BA.withdraw_ok(2),
+            BA.withdraw_ok(2),
+            CONTEXTS,
+            ALPHABET,
+            3,
+            conflict=EmptyConflict(),
+        )
+    )
+    assert ce is not None
+
+
+@pytest.mark.experiment("Theorem 10 (only if)")
+def test_full_figure_sweep(benchmark):
+    from repro.adts.bank_account import FIGURE_6_1_MARKS
+
+    classes = {c.label: c for c in BA.operation_classes()}
+    checker = BA.build_checker(context_depth=3, future_depth=3)
+
+    def sweep():
+        found = 0
+        for row, col in FIGURE_6_1_MARKS:
+            for p in classes[row].instances:
+                done = False
+                for q in classes[col].instances:
+                    if checker.fc_violation(p, q) is None:
+                        continue
+                    ce = find_du_counterexample(
+                        BA, p, q, CONTEXTS, ALPHABET, 3, conflict=EmptyConflict()
+                    )
+                    if ce is not None:
+                        found += 1
+                        done = True
+                        break
+                if done:
+                    break
+        return found
+
+    assert benchmark(sweep) == len(FIGURE_6_1_MARKS)
+
+
+def _programs(rng: random.Random):
+    programs = []
+    for i in range(3):
+        steps = []
+        for _ in range(2):
+            kind = rng.choice(["deposit", "withdraw", "balance"])
+            steps.append(
+                inv("balance") if kind == "balance" else inv(kind, rng.choice([1, 2]))
+            )
+        programs.append(TransactionProgram("T%d" % i, tuple(steps)))
+    return programs
+
+
+@pytest.mark.experiment("Theorem 10 (if)")
+def test_sampled_correctness_du_nfc(benchmark):
+    report = benchmark(
+        lambda: sample_correctness(
+            BA, DU, BA.nfc_conflict(), _programs, samples=20, seed=6
+        )
+    )
+    assert report.all_dynamic_atomic
+
+
+@pytest.mark.experiment("Theorem 10 (if)")
+def test_sampled_violation_du_nrbc(benchmark):
+    """NRBC is not safe for DU: the targeted double-withdrawal mix."""
+
+    def programs(rng: random.Random):
+        return [
+            TransactionProgram("A", (inv("deposit", 2),)),
+            TransactionProgram("B", (inv("withdraw", 2),)),
+            TransactionProgram("C", (inv("withdraw", 2),)),
+        ]
+
+    report = benchmark(
+        lambda: sample_correctness(
+            BA,
+            DU,
+            BA.nrbc_conflict(),
+            programs,
+            samples=60,
+            seed=14,
+            abort_probability=0.0,
+        )
+    )
+    assert not report.all_dynamic_atomic

@@ -1,0 +1,104 @@
+"""Theorem 9: UIP is correct iff NRBC ⊆ Conflict.
+
+Benchmarks both directions: the *only-if* counterexample construction
+(search for the RBC witness, build the four-transaction history, verify
+automaton acceptance and the dynamic-atomicity failure), and the *if*
+direction by randomized trace sampling under the full NRBC relation.
+"""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.analysis.alphabet import reachable_macro_contexts
+from repro.core.conflict import EmptyConflict
+from repro.core.events import inv
+from repro.core.object_automaton import TransactionProgram
+from repro.core.theorems import find_uip_counterexample, sample_correctness
+from repro.core.views import UIP
+
+BA = BankAccount(domain=(1, 2))
+ALPHABET = BA.invocation_alphabet()
+CONTEXTS = [mc.context for mc in reachable_macro_contexts(BA, ALPHABET, max_depth=3)]
+
+
+@pytest.mark.experiment("Theorem 9 (only if)")
+def test_counterexample_construction(benchmark):
+    ce = benchmark(
+        lambda: find_uip_counterexample(
+            BA,
+            BA.withdraw_no(2),
+            BA.withdraw_ok(2),
+            CONTEXTS,
+            ALPHABET,
+            3,
+            conflict=EmptyConflict(),
+        )
+    )
+    assert ce is not None
+    assert ce.violation.order == ("A", "C", "B")
+
+
+@pytest.mark.experiment("Theorem 9 (only if)")
+def test_full_figure_sweep(benchmark):
+    """Find a counterexample for every class pair of Figure 6-2."""
+    from repro.adts.bank_account import FIGURE_6_2_MARKS
+
+    classes = {c.label: c for c in BA.operation_classes()}
+    checker = BA.build_checker(context_depth=3, future_depth=3)
+
+    def sweep():
+        found = 0
+        for row, col in FIGURE_6_2_MARKS:
+            for p in classes[row].instances:
+                done = False
+                for q in classes[col].instances:
+                    if checker.rbc_violation(p, q) is None:
+                        continue
+                    ce = find_uip_counterexample(
+                        BA, p, q, CONTEXTS, ALPHABET, 3, conflict=EmptyConflict()
+                    )
+                    if ce is not None:
+                        found += 1
+                        done = True
+                        break
+                if done:
+                    break
+        return found
+
+    assert benchmark(sweep) == len(FIGURE_6_2_MARKS)
+
+
+def _programs(rng: random.Random):
+    programs = []
+    for i in range(3):
+        steps = []
+        for _ in range(2):
+            kind = rng.choice(["deposit", "withdraw", "balance"])
+            steps.append(
+                inv("balance") if kind == "balance" else inv(kind, rng.choice([1, 2]))
+            )
+        programs.append(TransactionProgram("T%d" % i, tuple(steps)))
+    return programs
+
+
+@pytest.mark.experiment("Theorem 9 (if)")
+def test_sampled_correctness_uip_nrbc(benchmark):
+    report = benchmark(
+        lambda: sample_correctness(
+            BA, UIP, BA.nrbc_conflict(), _programs, samples=20, seed=5
+        )
+    )
+    assert report.all_dynamic_atomic
+
+
+@pytest.mark.experiment("Theorem 9 (if)")
+def test_sampled_violation_uip_nfc(benchmark):
+    """The cross-check: NFC is NOT safe for UIP, and sampling finds it."""
+    report = benchmark(
+        lambda: sample_correctness(
+            BA, UIP, BA.nfc_conflict(), _programs, samples=60, seed=13
+        )
+    )
+    assert not report.all_dynamic_atomic

@@ -1,0 +1,16 @@
+"""Shared configuration for the benchmark harness.
+
+Each bench module regenerates one artifact from DESIGN.md's
+per-experiment index.  Benchmarks both *measure* (via pytest-benchmark)
+and *verify* (via assertions on the regenerated artifact), so running
+``pytest benchmarks/ --benchmark-only`` re-checks the reproduction
+end-to-end and prints the regenerated tables.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): marks a benchmark with its DESIGN.md experiment id"
+    )

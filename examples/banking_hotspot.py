@@ -1,0 +1,50 @@
+"""Hot-spot banking: what the recovery method is worth in throughput.
+
+Run:  python examples/banking_hotspot.py
+
+The paper's introduction motivates type-specific concurrency control
+with "hot spots" — objects updated by every transaction.  This example
+runs the concrete transaction processor on a single hot account under
+four configurations and several operation mixes, printing comparison
+tables (EXP-C1 of EXPERIMENTS.md at interactive scale).
+
+What to look for:
+
+* withdrawal-heavy mixes — UIP+NRBC wins: two successful withdrawals
+  commute backward (Figure 6-2) but not forward (Figure 6-1);
+* deposit-heavy mixes — both typed relations crush 2PL;
+* mixes with failed withdrawals — DU+NFC catches up or wins, because
+  (withdraw-NO, withdraw-OK) and (deposit, withdraw-NO) block UIP;
+* the symmetric closure of NRBC (what pre-1988 algorithms used) always
+  trails the asymmetric relation.
+"""
+
+from repro.adts import BankAccount
+from repro.experiments.comparisons import compare
+from repro.runtime import format_summary_table, hotspot_banking
+
+MIXES = [
+    ("withdrawal-heavy, funded", 100, dict(deposit_weight=0.1, withdraw_weight=0.9, balance_weight=0.0)),
+    ("deposit-heavy", 0, dict(deposit_weight=0.9, withdraw_weight=0.1, balance_weight=0.0)),
+    ("even updates, funded", 100, dict(deposit_weight=0.5, withdraw_weight=0.5, balance_weight=0.0)),
+    ("tight funds (many failed withdrawals)", 2, dict(deposit_weight=0.2, withdraw_weight=0.8, balance_weight=0.0)),
+    ("with balance reads", 100, dict(deposit_weight=0.4, withdraw_weight=0.4, balance_weight=0.2)),
+]
+
+
+def main() -> None:
+    for name, opening, weights in MIXES:
+        summaries = compare(
+            lambda opening=opening: BankAccount("BA", opening=opening),
+            lambda rng, weights=weights: hotspot_banking(
+                rng, transactions=8, ops_per_txn=3, **weights
+            ),
+            seeds=tuple(range(8)),
+        )
+        print("== %s (opening balance %d) ==" % (name, opening))
+        print(format_summary_table(summaries))
+        print()
+
+
+if __name__ == "__main__":
+    main()

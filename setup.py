@@ -1,0 +1,11 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .`).
+
+The project metadata lives in pyproject.toml; this file exists because
+the build environment has no `wheel` package, so pip's PEP 660 editable
+path is unavailable and the classic `setup.py develop` path is used
+instead.
+"""
+
+from setuptools import setup
+
+setup()

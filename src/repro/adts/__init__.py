@@ -1,0 +1,67 @@
+"""The ADT library: serial specifications with analysis and runtime hooks.
+
+Each module defines one transactional abstract data type in the paper's
+I/O-automaton style (state, preconditions, effects), its bounded-domain
+analysis alphabet, its operation classifier, and — where a hand
+derivation exists — its analytic NFC/NRBC conflict relations, each
+cross-checked against the mechanical checker in the test suite.
+
+The spectrum, from most to least concurrent:
+
+========================  ==============================================
+:class:`SemiQueue`        nondeterministic bag; almost everything
+                          commutes; NFC/NRBC maximally incomparable
+:class:`EscrowAccount`    blind credits + guarded debits, no reads
+:class:`BankAccount`      the paper's running example (Figures 6-1/6-2)
+:class:`Counter`          blind updates + read; NFC = NRBC
+:class:`SetADT`           idempotent per-element updates + membership
+:class:`KVStore`          keyed last-writer updates + lookups
+:class:`FifoQueue`        ordered; head/tail independence only
+:class:`Register`         classical read/write; NFC = NRBC = rw-matrix
+:class:`Stack`            everything contends on the top
+========================  ==============================================
+"""
+
+from .bank_account import BankAccount
+from .base import ADT, UndoNotSupported
+from .counter import Counter
+from .escrow import EscrowAccount
+from .fifo_queue import FifoQueue
+from .kv_store import KVStore
+from .priority_queue import PriorityQueue
+from .product import ProductADT
+from .register import Register
+from .semiqueue import SemiQueue
+from .set_adt import SetADT
+from .stack import Stack
+
+#: Every concrete ADT class, for parameterized tests and benches.
+ALL_ADTS = (
+    BankAccount,
+    Counter,
+    EscrowAccount,
+    FifoQueue,
+    KVStore,
+    PriorityQueue,
+    Register,
+    SemiQueue,
+    SetADT,
+    Stack,
+)
+
+__all__ = [
+    "ADT",
+    "UndoNotSupported",
+    "BankAccount",
+    "Counter",
+    "EscrowAccount",
+    "FifoQueue",
+    "KVStore",
+    "PriorityQueue",
+    "ProductADT",
+    "Register",
+    "SemiQueue",
+    "SetADT",
+    "Stack",
+    "ALL_ADTS",
+]

@@ -1,0 +1,118 @@
+"""Enumeration of reachable operations and contexts for a specification.
+
+The commutativity relations quantify over all operation sequences
+(contexts ``α``).  For a :class:`~repro.core.automaton_spec.StateMachineSpec`
+a context matters only through the *macro-state* (set of automaton
+states) it reaches, so quantification over contexts reduces to
+quantification over reachable macro-states.  This module enumerates
+
+* the reachable macro-states together with a shortest representative
+  context each (:func:`reachable_macro_contexts`), and
+* the ground operations that are enabled somewhere within reach
+  (:func:`reachable_operations`) — the finite operation alphabet over
+  which conflict relations and tables are computed.
+
+Both walks are breadth-first over a finite invocation alphabet, with an
+optional depth bound (mandatory for specifications with unboundedly many
+reachable states, such as the paper's bank account over unrestricted
+amounts) and a hard cap on the number of macro-states visited, so an
+accidental infinite specification fails loudly instead of hanging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.automaton_spec import StateMachineSpec
+from ..core.events import Invocation, OpSeq, Operation
+
+MacroState = FrozenSet
+
+
+class StateSpaceTooLarge(RuntimeError):
+    """Raised when macro-state exploration exceeds the configured cap."""
+
+
+@dataclass(frozen=True)
+class MacroContext:
+    """A reachable macro-state with a shortest context reaching it."""
+
+    macro: MacroState
+    context: OpSeq
+
+    @property
+    def depth(self) -> int:
+        return len(self.context)
+
+
+def reachable_macro_contexts(
+    spec: StateMachineSpec,
+    invocations: Iterable[Invocation],
+    *,
+    max_depth: Optional[int] = None,
+    max_states: int = 100_000,
+) -> List[MacroContext]:
+    """Breadth-first enumeration of reachable macro-states.
+
+    Returns one :class:`MacroContext` per distinct reachable macro-state,
+    in discovery (shortest-context-first) order; the first entry is the
+    initial macro-state with the empty context.  With ``max_depth=None``
+    the walk runs to closure, which terminates only for finite-state
+    specifications — guarded by ``max_states``.
+    """
+    invocations = tuple(invocations)
+    start = spec.initial_macro_state()
+    seen: Dict[MacroState, OpSeq] = {start: ()}
+    order: List[MacroContext] = [MacroContext(start, ())]
+    queue = deque([(start, ())])
+    while queue:
+        macro, context = queue.popleft()
+        if max_depth is not None and len(context) >= max_depth:
+            continue
+        for invocation in invocations:
+            responses: Set = set()
+            for state in macro:
+                for response, _next in spec.transitions(state, invocation):
+                    responses.add(response)
+            for response in responses:
+                operation = spec.operation(invocation, response)
+                nxt = spec.step_macro(macro, operation)
+                if not nxt or nxt in seen:
+                    continue
+                if len(seen) >= max_states:
+                    raise StateSpaceTooLarge(
+                        "more than %d reachable macro-states; supply a depth "
+                        "bound for this specification" % max_states
+                    )
+                ctx = context + (operation,)
+                seen[nxt] = ctx
+                order.append(MacroContext(nxt, ctx))
+                queue.append((nxt, ctx))
+    return order
+
+
+def reachable_operations(
+    spec: StateMachineSpec,
+    invocations: Iterable[Invocation],
+    *,
+    max_depth: Optional[int] = None,
+    max_states: int = 100_000,
+) -> Tuple[Operation, ...]:
+    """The ground operations enabled from some reachable macro-state.
+
+    This is the finite operation alphabet used for conflict relations,
+    tables, and incomparability analysis; it is sorted for determinism.
+    """
+    invocations = tuple(invocations)
+    contexts = reachable_macro_contexts(
+        spec, invocations, max_depth=max_depth, max_states=max_states
+    )
+    ops: Set[Operation] = set()
+    for mc in contexts:
+        for state in mc.macro:
+            for invocation in invocations:
+                for response, _next in spec.transitions(state, invocation):
+                    ops.add(spec.operation(invocation, response))
+    return tuple(sorted(ops, key=lambda o: (o.name, repr(o.args), repr(o.response))))

@@ -1,0 +1,74 @@
+"""Exact commutativity decisions for finite-state specifications.
+
+For a specification whose reachable macro-state space is finite over the
+chosen invocation alphabet, the macro-state engine with *no* depth bounds
+is a complete decision procedure:
+
+* contexts: every reachable macro-state is enumerated, and two contexts
+  reaching the same macro-state are interchangeable;
+* futures: the looks-like search explores pairs of macro-states with
+  visited pruning, and a violation, if one exists, is witnessed by a
+  simple (cycle-free) path through the pair graph.
+
+:class:`ExactChecker` is the no-bounds configuration of
+:class:`~repro.analysis.checker.CommutativityChecker`, plus an explicit
+finiteness probe (:func:`is_finite_state`) so callers can decide between
+exact and bounded checking programmatically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..core.automaton_spec import StateMachineSpec
+from ..core.events import Invocation
+from .alphabet import StateSpaceTooLarge, reachable_macro_contexts
+from .checker import CommutativityChecker
+
+
+def is_finite_state(
+    spec: StateMachineSpec,
+    invocations: Iterable[Invocation],
+    *,
+    max_states: int = 10_000,
+) -> bool:
+    """True iff the reachable macro-state space closes within ``max_states``.
+
+    A ``False`` result means exploration hit the cap — the space may be
+    genuinely infinite (e.g. the unbounded bank account) or merely larger
+    than the cap; either way, exact checking is off the table at this
+    budget and the bounded checker should be used instead.
+    """
+    try:
+        reachable_macro_contexts(
+            spec, tuple(invocations), max_depth=None, max_states=max_states
+        )
+    except StateSpaceTooLarge:
+        return False
+    return True
+
+
+class ExactChecker(CommutativityChecker):
+    """A :class:`CommutativityChecker` with no depth bounds.
+
+    Verdicts are exact: ``fc_violation(β, γ) is None`` *proves* that β
+    and γ commute forward over the alphabet's reachable behaviors, and
+    likewise for RBC.  Construction fails with
+    :class:`~repro.analysis.alphabet.StateSpaceTooLarge` when the
+    specification is not finite-state within ``max_states``.
+    """
+
+    def __init__(
+        self,
+        spec: StateMachineSpec,
+        invocations: Iterable[Invocation],
+        *,
+        max_states: int = 10_000,
+    ):
+        super().__init__(
+            spec,
+            invocations,
+            context_depth=None,
+            future_depth=None,
+            max_states=max_states,
+        )

@@ -1,0 +1,357 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``adts``
+    List the built-in ADTs.
+``tables <adt>``
+    Print the forward and right-backward commutativity tables for an
+    ADT, derived mechanically from its serial specification.
+``figures``
+    Regenerate the paper's Figures 6-1 and 6-2 and report whether they
+    match the published tables.
+``counterexample <uip|du> [--adt NAME]``
+    Construct and print a Theorem 9/10 counterexample history.
+``audit <history.json> --adt NAME [--object NAME=ADT ...]``
+    Check a serialized history for atomicity and dynamic atomicity.
+``compare <workload>``
+    Run the concurrency comparison for one workload
+    (hotspot/escrow/semiqueue/fifo/set/register) and print the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Optional
+
+from .adts import (
+    BankAccount,
+    Counter,
+    EscrowAccount,
+    FifoQueue,
+    KVStore,
+    PriorityQueue,
+    Register,
+    SemiQueue,
+    SetADT,
+    Stack,
+)
+
+#: name -> factory taking the object name.
+ADT_REGISTRY: Dict[str, Callable[[str], object]] = {
+    "bank": lambda name: BankAccount(name),
+    "counter": lambda name: Counter(name),
+    "register": lambda name: Register(name),
+    "set": lambda name: SetADT(name),
+    "kv": lambda name: KVStore(name),
+    "pqueue": lambda name: PriorityQueue(name),
+    "fifo": lambda name: FifoQueue(name),
+    "semiqueue": lambda name: SemiQueue(name),
+    "stack": lambda name: Stack(name),
+    "escrow": lambda name: EscrowAccount(name),
+}
+
+#: default object names per ADT kind (match the classes' defaults).
+DEFAULT_NAMES = {
+    "bank": "BA",
+    "counter": "CTR",
+    "register": "REG",
+    "set": "SET",
+    "kv": "KV",
+    "pqueue": "PQ",
+    "fifo": "Q",
+    "semiqueue": "SQ",
+    "stack": "ST",
+    "escrow": "ESC",
+}
+
+
+def make_adt(kind: str, name: Optional[str] = None):
+    if kind not in ADT_REGISTRY:
+        raise SystemExit(
+            "unknown ADT %r (choose from: %s)" % (kind, ", ".join(sorted(ADT_REGISTRY)))
+        )
+    return ADT_REGISTRY[kind](name or DEFAULT_NAMES[kind])
+
+
+def cmd_adts(_args) -> int:
+    for kind in sorted(ADT_REGISTRY):
+        adt = make_adt(kind)
+        labels = [c.label for c in adt.operation_classes()]
+        print("%-10s %-5s %s" % (kind, adt.name, ", ".join(labels)))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    adt = make_adt(args.adt, args.name)
+    checker = adt.build_checker()
+    classes = adt.operation_classes()
+    fc = checker.forward_table(classes)
+    bc = checker.backward_table(classes)
+    render = (lambda t: t.render_markdown()) if args.markdown else (lambda t: t.render_ascii())
+    print(render(fc))
+    print()
+    print(render(bc))
+    nfc_only = sorted(fc.marks - bc.marks)
+    nrbc_only = sorted(bc.marks - fc.marks)
+    print()
+    print("NFC-only conflicts :", nfc_only or "(none)")
+    print("NRBC-only conflicts:", nrbc_only or "(none)")
+    return 0
+
+
+def cmd_figures(_args) -> int:
+    from .experiments.figures import (
+        expected_figure_6_1,
+        expected_figure_6_2,
+        figure_6_1,
+        figure_6_2,
+    )
+
+    f1, f2 = figure_6_1(), figure_6_2()
+    print(f1.render_ascii())
+    print()
+    print(f2.render_ascii())
+    print()
+    ok1 = f1.same_marks(expected_figure_6_1())
+    ok2 = f2.same_marks(expected_figure_6_2())
+    print("Figure 6-1 matches the paper:", ok1)
+    print("Figure 6-2 matches the paper:", ok2)
+    return 0 if (ok1 and ok2) else 1
+
+
+def cmd_counterexample(args) -> int:
+    from .analysis.alphabet import reachable_macro_contexts
+    from .core import EmptyConflict, find_du_counterexample, find_uip_counterexample
+
+    adt = make_adt(args.adt, args.name)
+    invocations = adt.invocation_alphabet()
+    contexts = [
+        mc.context
+        for mc in reachable_macro_contexts(
+            adt, invocations, max_depth=adt.analysis_context_depth or 4
+        )
+    ]
+    alphabet = adt.ground_alphabet()
+    finder = find_uip_counterexample if args.view == "uip" else find_du_counterexample
+    for p in alphabet:
+        for q in alphabet:
+            ce = finder(
+                adt, p, q, contexts, invocations, 3, conflict=EmptyConflict()
+            )
+            if ce is not None:
+                print("missing conflict pair: (%s, %s)" % (p, q))
+                print()
+                print(ce.history)
+                print()
+                print("=>", ce.violation)
+                return 0
+    print("no counterexample found: the empty conflict relation is safe?!")
+    return 1
+
+
+def cmd_synthesize(args) -> int:
+    """Derive the conflicts a recovery view requires, by probing."""
+    from .analysis.alphabet import reachable_macro_contexts, reachable_operations
+    from .analysis.view_synthesis import ViewSynthesizer
+    from .core.views import DU, SUIP, UIP
+
+    views = {"uip": UIP, "du": DU, "suip": SUIP}
+    view = views.get(args.view)
+    if view is None:
+        raise SystemExit("unknown view %r (uip, du or suip)" % args.view)
+    adt = make_adt(args.adt, args.name)
+    invocations = adt.invocation_alphabet()
+    depth = args.depth or adt.analysis_context_depth or 3
+    contexts = reachable_macro_contexts(adt, invocations, max_depth=depth)
+    alphabet = reachable_operations(adt, invocations, max_depth=depth)
+    synthesizer = ViewSynthesizer(
+        adt, view, invocations, contexts, rho_depth=args.rho_depth
+    )
+    required = synthesizer.required_pairs(alphabet)
+    print(
+        "required conflicts for view %s on %s (%d ground operations):"
+        % (view.name, adt.name, len(alphabet))
+    )
+    for (p, q), evidence in sorted(required.items(), key=lambda kv: str(kv[0])):
+        print("  (%s, %s)  — order %s fails" % (p, q, "-".join(evidence.failing_order)))
+    print("total: %d pairs" % len(required))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from .core import serde
+    from .core.atomicity import (
+        find_dynamic_atomicity_violation,
+        find_serialization_order,
+        is_atomic,
+    )
+
+    history = serde.load(args.history)
+    specs = {}
+    for binding in args.object or []:
+        obj_name, _, kind = binding.partition("=")
+        if not kind:
+            raise SystemExit("--object takes NAME=ADT bindings, got %r" % binding)
+        specs[obj_name] = make_adt(kind, obj_name)
+    for obj_name in history.objects():
+        if obj_name not in specs:
+            if args.adt is None:
+                raise SystemExit(
+                    "no specification for object %r (use --adt or --object)"
+                    % obj_name
+                )
+            specs[obj_name] = make_adt(args.adt, obj_name)
+    print("events       :", len(history))
+    print("transactions :", ", ".join(sorted(history.transactions())))
+    print("committed    :", ", ".join(sorted(history.committed())) or "(none)")
+    print("aborted      :", ", ".join(sorted(history.aborted())) or "(none)")
+    atomic = is_atomic(history, specs)
+    if atomic:
+        order = find_serialization_order(history.permanent(), specs)
+        print("atomic       : yes (order %s)" % "-".join(order))
+    else:
+        print("atomic       : NO")
+    violation = find_dynamic_atomicity_violation(history, specs)
+    if violation is None:
+        print("dynamic atomic: yes")
+    else:
+        print("dynamic atomic: NO — %s" % violation)
+    return 0 if (atomic and violation is None) else 1
+
+
+def cmd_compare(args) -> int:
+    
+    from .experiments.comparisons import _register_workload, compare
+    from .runtime import (
+        escrow_workload,
+        format_summary_table,
+        hotspot_banking,
+        producer_consumer,
+        set_membership_workload,
+    )
+
+    cases = {
+        "hotspot": (
+            lambda: BankAccount("BA", opening=args.opening),
+            lambda rng: hotspot_banking(
+                rng, transactions=args.transactions, ops_per_txn=args.ops
+            ),
+        ),
+        "escrow": (
+            lambda: EscrowAccount("ESC", opening=args.opening),
+            lambda rng: escrow_workload(
+                rng, transactions=args.transactions, ops_per_txn=args.ops
+            ),
+        ),
+        "semiqueue": (
+            lambda: SemiQueue("Q"),
+            lambda rng: producer_consumer(
+                rng,
+                obj="Q",
+                producers=args.transactions // 2,
+                consumers=args.transactions // 2,
+                ops_per_txn=args.ops,
+            ),
+        ),
+        "fifo": (
+            lambda: FifoQueue("Q"),
+            lambda rng: producer_consumer(
+                rng,
+                obj="Q",
+                producers=args.transactions // 2,
+                consumers=args.transactions // 2,
+                ops_per_txn=args.ops,
+            ),
+        ),
+        "set": (
+            lambda: SetADT("SET"),
+            lambda rng: set_membership_workload(
+                rng, transactions=args.transactions, ops_per_txn=args.ops
+            ),
+        ),
+        "register": (
+            lambda: Register("REG"),
+            lambda rng: _register_workload(rng, transactions=args.transactions),
+        ),
+    }
+    if args.workload not in cases:
+        raise SystemExit(
+            "unknown workload %r (choose from: %s)"
+            % (args.workload, ", ".join(sorted(cases)))
+        )
+    adt_factory, workload = cases[args.workload]
+    summaries = compare(adt_factory, workload, seeds=tuple(range(args.seeds)))
+    print(format_summary_table(summaries))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Commutativity-based concurrency control and recovery "
+        "(Weihl 1989), executable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("adts", help="list built-in ADTs").set_defaults(func=cmd_adts)
+
+    p = sub.add_parser("tables", help="print FC/RBC conflict tables for an ADT")
+    p.add_argument("adt", help="ADT kind (see `repro adts`)")
+    p.add_argument("--name", help="object name (defaults per ADT)")
+    p.add_argument("--markdown", action="store_true", help="render Markdown")
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("figures", help="regenerate Figures 6-1 and 6-2")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser(
+        "counterexample", help="build a Theorem 9/10 counterexample history"
+    )
+    p.add_argument("view", choices=["uip", "du"])
+    p.add_argument("--adt", default="bank")
+    p.add_argument("--name", help="object name")
+    p.set_defaults(func=cmd_counterexample)
+
+    p = sub.add_parser(
+        "synthesize", help="derive the conflicts a recovery view requires"
+    )
+    p.add_argument("view", help="uip | du | suip")
+    p.add_argument("--adt", default="bank")
+    p.add_argument("--name", help="object name")
+    p.add_argument("--depth", type=int, help="context depth (default per ADT)")
+    p.add_argument("--rho-depth", type=int, default=2)
+    p.set_defaults(func=cmd_synthesize)
+
+    p = sub.add_parser("audit", help="audit a serialized history (JSON)")
+    p.add_argument("history", help="path to history JSON")
+    p.add_argument("--adt", help="ADT kind applied to every object")
+    p.add_argument(
+        "--object",
+        action="append",
+        metavar="NAME=ADT",
+        help="per-object ADT binding (repeatable)",
+    )
+    p.set_defaults(func=cmd_audit)
+
+    p = sub.add_parser("compare", help="run a concurrency comparison")
+    p.add_argument("workload", help="hotspot|escrow|semiqueue|fifo|set|register")
+    p.add_argument("--seeds", type=int, default=8)
+    p.add_argument("--transactions", type=int, default=8)
+    p.add_argument("--ops", type=int, default=3)
+    p.add_argument("--opening", type=int, default=100)
+    p.set_defaults(func=cmd_compare)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

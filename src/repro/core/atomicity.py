@@ -1,0 +1,265 @@
+"""Atomicity, serializability and dynamic atomicity (paper, Section 3).
+
+The hierarchy of correctness notions, all made executable here:
+
+* A serial failure-free history is **acceptable** iff at every object
+  ``X``, ``Opseq(H|X)`` is legal according to ``Spec(X)``.
+* A failure-free history ``H`` is **serializable in the order T** iff
+  ``Serial(H, T)`` is acceptable, and **serializable** iff some total
+  order works.
+* ``H`` is **atomic** iff ``permanent(H) = H|Committed(H)`` is
+  serializable — recoverability is formalized by discarding events of
+  non-committed transactions.
+* ``H`` is **dynamic atomic** iff ``permanent(H)`` is serializable in
+  *every* total order consistent with ``precedes(H)`` (Section 3.4) —
+  the local atomicity property used as the correctness criterion for
+  object implementations (Theorem 2: all objects dynamic atomic ⇒ all
+  system histories atomic).
+* ``H`` is **online dynamic atomic** iff for every *commit set* ``CS``
+  (``Committed(H) ⊆ CS``, ``CS ∩ Aborted(H) = ∅``), ``H|CS`` is
+  serializable in every total order consistent with ``precedes(H|CS)``
+  (Section 7) — the induction invariant in the proof of Theorem 9.
+
+Dynamic atomicity quantifies over the linear extensions of a partial
+order, so the checkers are exponential in the number of transactions in
+the worst case; they are meant for the history sizes that appear in
+specifications, tests and counterexamples.  A ``max_orders`` guard makes
+the explosion explicit rather than silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from .history import History, serial_history
+from .serial_spec import SerialSpec
+
+SpecsLike = Union[SerialSpec, Mapping[str, SerialSpec], Iterable[SerialSpec]]
+
+
+class TooManyOrdersError(RuntimeError):
+    """The dynamic-atomicity check would enumerate more orders than allowed."""
+
+
+def normalize_specs(specs: SpecsLike) -> Dict[str, SerialSpec]:
+    """Accept a single spec, a mapping, or an iterable of specs."""
+    if isinstance(specs, SerialSpec):
+        return {specs.name: specs}
+    if isinstance(specs, Mapping):
+        return dict(specs)
+    return {spec.name: spec for spec in specs}
+
+
+def is_acceptable(history: History, specs: SpecsLike) -> bool:
+    """A serial failure-free history is acceptable iff legal at every object."""
+    spec_map = normalize_specs(specs)
+    for obj in history.objects():
+        spec = spec_map.get(obj)
+        if spec is None:
+            raise KeyError("no serial specification for object %r" % obj)
+        if not spec.is_legal(history.project_objects(obj).opseq()):
+            return False
+    return True
+
+
+def serializable_in_order(
+    history: History, order: Sequence[str], specs: SpecsLike
+) -> bool:
+    """``Serial(history, order)`` is acceptable (history must be failure-free)."""
+    if not history.failure_free():
+        raise ValueError("serializability is defined for failure-free histories")
+    return is_acceptable(serial_history(history, order), specs)
+
+
+def find_serialization_order(
+    history: History,
+    specs: SpecsLike,
+    *,
+    max_orders: int = 1_000_000,
+) -> Optional[Tuple[str, ...]]:
+    """Some total order in which the failure-free history serializes, or None."""
+    txns = sorted(history.transactions())
+    count = 0
+    for order in _permutations_guarded(txns):
+        count += 1
+        if count > max_orders:
+            raise TooManyOrdersError(
+                "more than %d candidate orders for %d transactions"
+                % (max_orders, len(txns))
+            )
+        if serializable_in_order(history, order, specs):
+            return order
+    return None
+
+
+def is_serializable(
+    history: History, specs: SpecsLike, *, max_orders: int = 1_000_000
+) -> bool:
+    """∃ a total order in which the failure-free history serializes."""
+    return find_serialization_order(history, specs, max_orders=max_orders) is not None
+
+
+def is_atomic(history: History, specs: SpecsLike, *, max_orders: int = 1_000_000) -> bool:
+    """``permanent(history)`` is serializable."""
+    return is_serializable(history.permanent(), specs, max_orders=max_orders)
+
+
+def _permutations_guarded(items: Sequence[str]) -> Iterator[Tuple[str, ...]]:
+    from itertools import permutations
+
+    return permutations(items)
+
+
+def linear_extensions(
+    items: Sequence[str], pairs: Iterable[Tuple[str, str]]
+) -> Iterator[Tuple[str, ...]]:
+    """All linear extensions of the partial order ``pairs`` over ``items``.
+
+    ``pairs`` is a set of (before, after) constraints; pairs mentioning
+    elements outside ``items`` are ignored.  Yields tuples in a
+    deterministic (lexicographic-by-choice) order via backtracking over
+    minimal elements.
+    """
+    items = sorted(items)
+    universe = set(items)
+    succ: Dict[str, Set[str]] = {x: set() for x in items}
+    indegree: Dict[str, int] = {x: 0 for x in items}
+    for a, b in pairs:
+        if a in universe and b in universe and a != b:
+            if b not in succ[a]:
+                succ[a].add(b)
+                indegree[b] += 1
+
+    prefix: List[str] = []
+
+    def backtrack() -> Iterator[Tuple[str, ...]]:
+        if len(prefix) == len(items):
+            yield tuple(prefix)
+            return
+        for x in items:
+            if indegree[x] == 0 and x not in taken:
+                taken.add(x)
+                prefix.append(x)
+                for y in succ[x]:
+                    indegree[y] -= 1
+                yield from backtrack()
+                for y in succ[x]:
+                    indegree[y] += 1
+                prefix.pop()
+                taken.discard(x)
+
+    taken: Set[str] = set()
+    yield from backtrack()
+
+
+@dataclass(frozen=True)
+class DynamicAtomicityViolation:
+    """A total order consistent with ``precedes`` that fails to serialize."""
+
+    order: Tuple[str, ...]
+    commit_set: Optional[FrozenSet[str]] = None
+
+    def __str__(self) -> str:
+        msg = "not serializable in the precedes-consistent order %s" % (
+            "-".join(self.order),
+        )
+        if self.commit_set is not None:
+            msg += " (commit set {%s})" % ", ".join(sorted(self.commit_set))
+        return msg
+
+
+def find_dynamic_atomicity_violation(
+    history: History,
+    specs: SpecsLike,
+    *,
+    max_orders: int = 100_000,
+) -> Optional[DynamicAtomicityViolation]:
+    """A precedes-consistent order in which ``permanent(history)`` fails, or None.
+
+    ``history`` is dynamic atomic iff this returns None: ``permanent(H)``
+    must be serializable in *every* total order consistent with
+    ``precedes(H)``.
+    """
+    permanent = history.permanent()
+    txns = permanent.transactions()
+    precedes = {
+        (a, b) for (a, b) in history.precedes() if a in txns and b in txns
+    }
+    count = 0
+    for order in linear_extensions(sorted(txns), precedes):
+        count += 1
+        if count > max_orders:
+            raise TooManyOrdersError(
+                "more than %d precedes-consistent orders" % max_orders
+            )
+        if not serializable_in_order(permanent, order, specs):
+            return DynamicAtomicityViolation(order)
+    return None
+
+
+def is_dynamic_atomic(
+    history: History, specs: SpecsLike, *, max_orders: int = 100_000
+) -> bool:
+    """``permanent(H)`` serializable in every order consistent with ``precedes(H)``."""
+    return (
+        find_dynamic_atomicity_violation(history, specs, max_orders=max_orders)
+        is None
+    )
+
+
+def commit_sets(history: History) -> Iterator[FrozenSet[str]]:
+    """All commit sets for ``history``, restricted to transactions appearing in it.
+
+    A commit set contains every committed transaction, no aborted one,
+    and any subset of the active transactions (Section 7).  Transactions
+    outside the history would contribute no events and are omitted.
+    """
+    committed = history.committed()
+    active = sorted(history.active())
+    for r in range(len(active) + 1):
+        for extra in combinations(active, r):
+            yield committed | frozenset(extra)
+
+
+def find_online_violation(
+    history: History,
+    specs: SpecsLike,
+    *,
+    max_orders: int = 100_000,
+) -> Optional[DynamicAtomicityViolation]:
+    """A commit set and order witnessing failure of online dynamic atomicity."""
+    for cs in commit_sets(history):
+        projected = history.project_transactions(cs)
+        txns = projected.transactions()
+        precedes = projected.precedes()
+        count = 0
+        for order in linear_extensions(sorted(txns), precedes):
+            count += 1
+            if count > max_orders:
+                raise TooManyOrdersError(
+                    "more than %d orders for commit set %s" % (max_orders, cs)
+                )
+            if not serializable_in_order(projected, order, specs):
+                return DynamicAtomicityViolation(order, commit_set=cs)
+    return None
+
+
+def is_online_dynamic_atomic(
+    history: History, specs: SpecsLike, *, max_orders: int = 100_000
+) -> bool:
+    """``H|CS`` serializable in every precedes-consistent order, for every commit set."""
+    return find_online_violation(history, specs, max_orders=max_orders) is None

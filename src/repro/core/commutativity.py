@@ -1,0 +1,211 @@
+"""Forward and (right) backward commutativity (paper, Sections 6.2–6.3).
+
+Two distinct notions of "two operations commute", each exactly matched to
+one recovery method:
+
+* **Forward commutativity** (FC) — ``β`` and ``γ`` commute forward iff
+  for every context ``α`` with ``αβ ∈ Spec`` and ``αγ ∈ Spec``, the
+  sequence ``αβγ`` is legal and equieffective to ``αγβ``.  Whenever both
+  can be executed after ``α``, each can be pushed *forward* past the
+  other.  FC is symmetric (Lemma 8).  Deferred-update recovery works
+  exactly with conflict relations containing NFC = the complement of FC
+  (Theorem 10).
+
+* **Right backward commutativity** (RBC) — ``β`` right commutes backward
+  with ``γ`` iff for every context ``α``, ``αγβ`` *looks like* ``αβγ``:
+  whenever ``β`` executes immediately after ``γ``, it can be pushed
+  *backward* before ``γ``.  RBC is **not** symmetric in general.
+  Update-in-place recovery works exactly with conflict relations
+  containing NRBC = the complement of RBC (Theorem 9).
+
+The definitions quantify over all contexts ``α`` (and, inside
+"looks like", over all futures).  The functions here take an explicit
+iterable of contexts plus an invocation alphabet and depth bound for the
+futures, and perform a *witness search*: a returned violation is a
+machine-checkable proof of non-commutativity, and feeding it to
+:mod:`repro.core.theorems` produces the paper's non-dynamic-atomic
+histories.  Exhaustive context/future generation for bounded domains
+lives in :mod:`repro.analysis.checker`; exact decisions for finite-state
+specifications live in :mod:`repro.analysis.finite`.
+
+Both relations are defined on operation *sequences*; single operations
+are accepted anywhere and treated as length-1 sequences.  In particular
+the locks acquired by an operation may depend on its result, because
+operations — invocation/response pairs — are the alphabet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Union
+
+from .equieffective import (
+    LooksLikeViolation,
+    find_equieffective_violation,
+    find_looks_like_violation,
+)
+from .events import Invocation, OpSeq, Operation
+from .serial_spec import SerialSpec
+
+OperationOrSeq = Union[Operation, Sequence[Operation]]
+
+
+def as_opseq(value: OperationOrSeq) -> OpSeq:
+    """Normalize an operation or sequence of operations to a tuple."""
+    if isinstance(value, Operation):
+        return (value,)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class ForwardCommutativityViolation:
+    """A witness that ``beta`` and ``gamma`` do not commute forward.
+
+    ``context`` is an ``α`` with ``αβ`` and ``αγ`` legal for which either
+
+    * ``αβγ`` is illegal (``kind == "illegal"``), or
+    * ``αβγ`` and ``αγβ`` are distinguishable (``kind ==
+      "distinguishable"``; ``looks_like_violation`` carries the future).
+    """
+
+    beta: OpSeq
+    gamma: OpSeq
+    context: OpSeq
+    kind: str
+    looks_like_violation: Optional[LooksLikeViolation] = None
+
+    def __str__(self) -> str:
+        beta = " ".join(str(o) for o in self.beta)
+        gamma = " ".join(str(o) for o in self.gamma)
+        ctx = " ".join(str(o) for o in self.context) or "(empty)"
+        if self.kind == "illegal":
+            return (
+                "FC violation: after context [%s], both [%s] and [%s] are legal "
+                "but their concatenation is not" % (ctx, beta, gamma)
+            )
+        return (
+            "FC violation: after context [%s], [%s]·[%s] and [%s]·[%s] are "
+            "distinguishable (%s)"
+            % (ctx, beta, gamma, gamma, beta, self.looks_like_violation)
+        )
+
+
+@dataclass(frozen=True)
+class BackwardCommutativityViolation:
+    """A witness that ``beta`` does not right commute backward with ``gamma``.
+
+    ``context`` is an ``α`` for which ``α·γ·β`` does not look like
+    ``α·β·γ``; ``looks_like_violation.future`` is the distinguishing
+    future ``ρ`` (``αγβρ`` legal, ``αβγρ`` illegal).
+    """
+
+    beta: OpSeq
+    gamma: OpSeq
+    context: OpSeq
+    looks_like_violation: LooksLikeViolation
+
+    @property
+    def future(self) -> OpSeq:
+        """The distinguishing future ``ρ``."""
+        return self.looks_like_violation.future
+
+    def __str__(self) -> str:
+        beta = " ".join(str(o) for o in self.beta)
+        gamma = " ".join(str(o) for o in self.gamma)
+        ctx = " ".join(str(o) for o in self.context) or "(empty)"
+        rho = " ".join(str(o) for o in self.future) or "(empty)"
+        return (
+            "RBC violation: after context [%s], [%s] cannot be pushed before "
+            "[%s]; distinguishing future [%s]" % (ctx, beta, gamma, rho)
+        )
+
+
+def find_forward_violation(
+    spec: SerialSpec,
+    beta: OperationOrSeq,
+    gamma: OperationOrSeq,
+    contexts: Iterable[Sequence[Operation]],
+    alphabet: Iterable[Invocation],
+    future_depth: int,
+) -> Optional[ForwardCommutativityViolation]:
+    """Search the given contexts for a forward-commutativity violation."""
+    beta = as_opseq(beta)
+    gamma = as_opseq(gamma)
+    alphabet = tuple(alphabet)
+    for context in contexts:
+        context = tuple(context)
+        if not spec.is_legal(context + beta):
+            continue
+        if not spec.is_legal(context + gamma):
+            continue
+        both = context + beta + gamma
+        if not spec.is_legal(both):
+            return ForwardCommutativityViolation(beta, gamma, context, "illegal")
+        other = context + gamma + beta
+        violation = find_equieffective_violation(
+            spec, both, other, alphabet, future_depth
+        )
+        if violation is not None:
+            return ForwardCommutativityViolation(
+                beta, gamma, context, "distinguishable", violation
+            )
+    return None
+
+
+def commute_forward(
+    spec: SerialSpec,
+    beta: OperationOrSeq,
+    gamma: OperationOrSeq,
+    contexts: Iterable[Sequence[Operation]],
+    alphabet: Iterable[Invocation],
+    future_depth: int,
+) -> bool:
+    """Bounded check that ``beta`` and ``gamma`` commute forward."""
+    return (
+        find_forward_violation(spec, beta, gamma, contexts, alphabet, future_depth)
+        is None
+    )
+
+
+def find_backward_violation(
+    spec: SerialSpec,
+    beta: OperationOrSeq,
+    gamma: OperationOrSeq,
+    contexts: Iterable[Sequence[Operation]],
+    alphabet: Iterable[Invocation],
+    future_depth: int,
+) -> Optional[BackwardCommutativityViolation]:
+    """Search the given contexts for a right-backward-commutativity violation.
+
+    ``beta`` right commutes backward with ``gamma`` iff for all ``α``,
+    ``αγβ`` looks like ``αβγ``; a violation is an ``α`` and future ``ρ``
+    with ``αγβρ`` legal but ``αβγρ`` illegal.
+    """
+    beta = as_opseq(beta)
+    gamma = as_opseq(gamma)
+    alphabet = tuple(alphabet)
+    for context in contexts:
+        context = tuple(context)
+        after = context + gamma + beta  # β executed to the right of γ
+        before = context + beta + gamma  # β pushed backward before γ
+        violation = find_looks_like_violation(
+            spec, after, before, alphabet, future_depth
+        )
+        if violation is not None:
+            return BackwardCommutativityViolation(beta, gamma, context, violation)
+    return None
+
+
+def right_commutes_backward(
+    spec: SerialSpec,
+    beta: OperationOrSeq,
+    gamma: OperationOrSeq,
+    contexts: Iterable[Sequence[Operation]],
+    alphabet: Iterable[Invocation],
+    future_depth: int,
+) -> bool:
+    """Bounded check that ``beta`` right commutes backward with ``gamma``."""
+    return (
+        find_backward_violation(spec, beta, gamma, contexts, alphabet, future_depth)
+        is None
+    )

@@ -1,0 +1,210 @@
+"""Equieffectiveness: when two operation sequences lead to the same "state".
+
+Rather than comparing implementation states, the paper (Section 6.1)
+compares operation sequences by their observable futures:
+
+* ``α`` **looks like** ``β`` (w.r.t. ``Spec``) iff for every operation
+  sequence ``γ``, ``αγ ∈ Spec`` implies ``βγ ∈ Spec`` — after executing
+  ``α`` we will never see a result that distinguishes it from ``β``.
+  "Looks like" is reflexive and transitive but *not* necessarily
+  symmetric (Lemma 3).
+* ``α`` and ``β`` are **equieffective** iff each looks like the other
+  (an equivalence relation, Lemma 4).
+
+Both relations quantify over *all* continuations ``γ``, which is not
+directly computable for arbitrary specifications.  This module provides
+the general, *bounded* procedure: enumerate legal continuations of ``α``
+up to a depth bound over a finite invocation alphabet and search for a
+distinguishing witness.  A witness found is a proof that the relation
+does **not** hold; exhausting the bound without a witness establishes the
+relation *up to the bound*.  The :mod:`repro.analysis.finite` module
+gives an exact decision procedure for finite-state specifications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .automaton_spec import StateMachineSpec
+from .events import Invocation, OpSeq, Operation
+from .serial_spec import SerialSpec
+
+
+def legal_continuations(
+    spec: SerialSpec,
+    prefix: Sequence[Operation],
+    alphabet: Iterable[Invocation],
+    max_depth: int,
+    *,
+    include_empty: bool = True,
+) -> Iterator[OpSeq]:
+    """Yield the legal continuations ``γ`` of ``prefix`` with ``len(γ) ≤ max_depth``.
+
+    A continuation ``γ`` is yielded iff ``prefix · γ`` is legal.  The
+    continuations are produced in breadth-first (shortest-first) order, so
+    callers searching for witnesses find minimal ones.  For
+    :class:`StateMachineSpec` the search carries macro-states and never
+    re-simulates from scratch; for other specifications it falls back on
+    repeated :meth:`~repro.core.serial_spec.SerialSpec.responses` calls.
+    """
+    prefix = tuple(prefix)
+    alphabet = tuple(alphabet)
+    if not spec.is_legal(prefix):
+        return
+    if include_empty:
+        yield ()
+    if max_depth <= 0:
+        return
+
+    if isinstance(spec, StateMachineSpec):
+        start = spec.states_after(prefix)
+        frontier: List[Tuple[OpSeq, frozenset]] = [((), start)]
+        for _depth in range(max_depth):
+            nxt: List[Tuple[OpSeq, frozenset]] = []
+            for gamma, macro in frontier:
+                for invocation in alphabet:
+                    seen_responses = set()
+                    for s in macro:
+                        for response, _s2 in spec.transitions(s, invocation):
+                            seen_responses.add(response)
+                    for response in seen_responses:
+                        operation = spec.operation(invocation, response)
+                        macro2 = spec.step_macro(macro, operation)
+                        if macro2:
+                            gamma2 = gamma + (operation,)
+                            yield gamma2
+                            nxt.append((gamma2, macro2))
+            frontier = nxt
+    else:
+        frontier2: List[OpSeq] = [()]
+        for _depth in range(max_depth):
+            nxt2: List[OpSeq] = []
+            for gamma in frontier2:
+                base = prefix + gamma
+                for invocation in alphabet:
+                    for response in spec.responses(base, invocation):
+                        operation = spec.operation(invocation, response)
+                        gamma2 = gamma + (operation,)
+                        yield gamma2
+                        nxt2.append(gamma2)
+            frontier2 = nxt2
+
+
+@dataclass(frozen=True)
+class LooksLikeViolation:
+    """A witness that ``alpha`` does not look like ``beta``.
+
+    ``future`` is a continuation with ``alpha · future`` legal but
+    ``beta · future`` illegal.
+    """
+
+    alpha: OpSeq
+    beta: OpSeq
+    future: OpSeq
+
+    def __str__(self) -> str:
+        return (
+            "alpha·future is legal but beta·future is not; future = [%s]"
+            % ", ".join(str(o) for o in self.future)
+        )
+
+
+def find_looks_like_violation(
+    spec: SerialSpec,
+    alpha: Sequence[Operation],
+    beta: Sequence[Operation],
+    alphabet: Iterable[Invocation],
+    max_depth: int,
+) -> Optional[LooksLikeViolation]:
+    """Search for a future distinguishing ``alpha`` from ``beta``.
+
+    Returns a :class:`LooksLikeViolation` if some ``γ`` with
+    ``len(γ) ≤ max_depth`` has ``αγ`` legal and ``βγ`` illegal, else None.
+    If ``α`` itself is illegal, the implication is vacuous and None is
+    returned immediately (every continuation of an illegal sequence is
+    illegal, by prefix closure).
+    """
+    alpha = tuple(alpha)
+    beta = tuple(beta)
+    if not spec.is_legal(alpha):
+        return None
+    # Fast path for state machines: check beta legality incrementally by
+    # carrying beta's macro-state along alpha's continuation tree.
+    if isinstance(spec, StateMachineSpec):
+        beta_start = spec.states_after(beta)
+        alpha_start = spec.states_after(alpha)
+        frontier: List[Tuple[OpSeq, frozenset, frozenset]] = [
+            ((), alpha_start, beta_start)
+        ]
+        if not beta_start:
+            return LooksLikeViolation(alpha, beta, ())
+        alphabet = tuple(alphabet)
+        for _depth in range(max_depth):
+            nxt: List[Tuple[OpSeq, frozenset, frozenset]] = []
+            for gamma, a_macro, b_macro in frontier:
+                for invocation in alphabet:
+                    responses = set()
+                    for s in a_macro:
+                        for response, _s2 in spec.transitions(s, invocation):
+                            responses.add(response)
+                    for response in responses:
+                        operation = spec.operation(invocation, response)
+                        a2 = spec.step_macro(a_macro, operation)
+                        if not a2:
+                            continue
+                        b2 = spec.step_macro(b_macro, operation)
+                        gamma2 = gamma + (operation,)
+                        if not b2:
+                            return LooksLikeViolation(alpha, beta, gamma2)
+                        nxt.append((gamma2, a2, b2))
+            frontier = nxt
+        return None
+
+    if not spec.is_legal(beta):
+        return LooksLikeViolation(alpha, beta, ())
+    for gamma in legal_continuations(spec, alpha, alphabet, max_depth):
+        if not spec.is_legal(beta + gamma):
+            return LooksLikeViolation(alpha, beta, gamma)
+    return None
+
+
+def looks_like(
+    spec: SerialSpec,
+    alpha: Sequence[Operation],
+    beta: Sequence[Operation],
+    alphabet: Iterable[Invocation],
+    max_depth: int,
+) -> bool:
+    """Bounded check that ``alpha`` looks like ``beta`` (no witness up to depth)."""
+    return (
+        find_looks_like_violation(spec, alpha, beta, alphabet, max_depth) is None
+    )
+
+
+def find_equieffective_violation(
+    spec: SerialSpec,
+    alpha: Sequence[Operation],
+    beta: Sequence[Operation],
+    alphabet: Iterable[Invocation],
+    max_depth: int,
+) -> Optional[LooksLikeViolation]:
+    """Search for a witness that ``alpha`` and ``beta`` are *not* equieffective."""
+    violation = find_looks_like_violation(spec, alpha, beta, alphabet, max_depth)
+    if violation is not None:
+        return violation
+    return find_looks_like_violation(spec, beta, alpha, alphabet, max_depth)
+
+
+def equieffective(
+    spec: SerialSpec,
+    alpha: Sequence[Operation],
+    beta: Sequence[Operation],
+    alphabet: Iterable[Invocation],
+    max_depth: int,
+) -> bool:
+    """Bounded check that ``alpha`` and ``beta`` are equieffective."""
+    return (
+        find_equieffective_violation(spec, alpha, beta, alphabet, max_depth)
+        is None
+    )

@@ -1,0 +1,175 @@
+"""JSON serialization for events, operations and histories.
+
+Histories are the library's exchange format: the checkers audit *any*
+well-formed event sequence, so being able to load one from a file makes
+the toolkit usable on traces produced elsewhere (see the ``audit`` CLI
+command).  The format is line-oriented-friendly JSON::
+
+    {
+      "events": [
+        {"kind": "invoke",  "obj": "BA", "txn": "A",
+         "name": "deposit", "args": [5]},
+        {"kind": "respond", "obj": "BA", "txn": "A", "response": "ok"},
+        {"kind": "commit",  "obj": "BA", "txn": "A"},
+        {"kind": "abort",   "obj": "BA", "txn": "B"}
+      ]
+    }
+
+Values (arguments and responses) may be JSON scalars, lists (decoded to
+tuples, matching the library's hashable-value convention) or objects
+tagged ``{"__frozenset__": [...]}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Hashable
+
+from .events import (
+    AbortEvent,
+    CommitEvent,
+    Event,
+    Invocation,
+    InvocationEvent,
+    Operation,
+    ResponseEvent,
+    abort,
+    commit,
+    invoke,
+    respond,
+)
+from .history import History
+
+
+class SerdeError(ValueError):
+    """Raised for malformed documents."""
+
+
+def encode_value(value: Hashable) -> Any:
+    """Render a (frozen) hashable value as JSON-compatible data."""
+    if isinstance(value, tuple):
+        return [encode_value(v) for v in value]
+    if isinstance(value, frozenset):
+        return {"__frozenset__": sorted((encode_value(v) for v in value), key=repr)}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SerdeError("value %r is not JSON-serializable" % (value,))
+
+
+def decode_value(data: Any) -> Hashable:
+    """Inverse of :func:`encode_value` (lists become tuples)."""
+    if isinstance(data, list):
+        return tuple(decode_value(v) for v in data)
+    if isinstance(data, dict):
+        if set(data) == {"__frozenset__"}:
+            return frozenset(decode_value(v) for v in data["__frozenset__"])
+        raise SerdeError("unexpected object %r" % (data,))
+    return data
+
+
+def encode_invocation(invocation: Invocation) -> Dict[str, Any]:
+    return {
+        "name": invocation.name,
+        "args": [encode_value(a) for a in invocation.args],
+    }
+
+
+def decode_invocation(data: Dict[str, Any]) -> Invocation:
+    try:
+        name = data["name"]
+    except KeyError:
+        raise SerdeError("invocation missing 'name': %r" % (data,))
+    args = tuple(decode_value(a) for a in data.get("args", []))
+    return Invocation(name, args)
+
+
+def encode_operation(operation: Operation) -> Dict[str, Any]:
+    doc = encode_invocation(operation.invocation)
+    doc["obj"] = operation.obj
+    doc["response"] = encode_value(operation.response)
+    return doc
+
+
+def decode_operation(data: Dict[str, Any]) -> Operation:
+    if "obj" not in data or "response" not in data:
+        raise SerdeError("operation needs 'obj' and 'response': %r" % (data,))
+    return Operation(
+        data["obj"], decode_invocation(data), decode_value(data["response"])
+    )
+
+
+def encode_event(event: Event) -> Dict[str, Any]:
+    if isinstance(event, InvocationEvent):
+        doc = {"kind": "invoke", "obj": event.obj, "txn": event.txn}
+        doc.update(encode_invocation(event.invocation))
+        return doc
+    if isinstance(event, ResponseEvent):
+        return {
+            "kind": "respond",
+            "obj": event.obj,
+            "txn": event.txn,
+            "response": encode_value(event.response),
+        }
+    if isinstance(event, CommitEvent):
+        return {"kind": "commit", "obj": event.obj, "txn": event.txn}
+    if isinstance(event, AbortEvent):
+        return {"kind": "abort", "obj": event.obj, "txn": event.txn}
+    raise SerdeError("unknown event type %r" % (event,))
+
+
+def decode_event(data: Dict[str, Any]) -> Event:
+    try:
+        kind = data["kind"]
+        obj = data["obj"]
+        txn = data["txn"]
+    except KeyError as exc:
+        raise SerdeError("event missing field %s: %r" % (exc, data))
+    if kind == "invoke":
+        return invoke(decode_invocation(data), obj, txn)
+    if kind == "respond":
+        if "response" not in data:
+            raise SerdeError("response event missing 'response': %r" % (data,))
+        return respond(decode_value(data["response"]), obj, txn)
+    if kind == "commit":
+        return commit(obj, txn)
+    if kind == "abort":
+        return abort(obj, txn)
+    raise SerdeError("unknown event kind %r" % (kind,))
+
+
+def history_to_dict(history: History) -> Dict[str, Any]:
+    return {"events": [encode_event(e) for e in history]}
+
+
+def history_from_dict(data: Dict[str, Any], *, validate: bool = True) -> History:
+    if "events" not in data or not isinstance(data["events"], list):
+        raise SerdeError("document needs an 'events' list")
+    return History(
+        (decode_event(e) for e in data["events"]), validate=validate
+    )
+
+
+def dumps(history: History, *, indent: int = 2) -> str:
+    """Serialize a history to a JSON string."""
+    return json.dumps(history_to_dict(history), indent=indent)
+
+
+def loads(text: str, *, validate: bool = True) -> History:
+    """Parse a history from a JSON string (validating well-formedness)."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerdeError("invalid JSON: %s" % exc)
+    return history_from_dict(data, validate=validate)
+
+
+def dump(history: History, path: str, *, indent: int = 2) -> None:
+    """Write a history to a JSON file."""
+    with open(path, "w") as f:
+        f.write(dumps(history, indent=indent))
+
+
+def load(path: str, *, validate: bool = True) -> History:
+    """Read a history from a JSON file."""
+    with open(path) as f:
+        return loads(f.read(), validate=validate)

@@ -1,0 +1,64 @@
+"""Experiment harness: regenerates every figure, example and comparison.
+
+One function per artifact in DESIGN.md's per-experiment index; the
+benchmarks call these functions, and EXPERIMENTS.md records their
+output.
+"""
+
+from .comparisons import (
+    Configuration,
+    compare,
+    exp_c1_hotspot,
+    exp_c2_adts,
+    exp_c3_symmetry,
+    render_experiment,
+    run_configuration,
+    standard_configurations,
+)
+from .examples import (
+    section_3_2_sequences,
+    section_3_3_history,
+    section_3_4_perturbed_history,
+    section_5_history,
+)
+from .figures import (
+    IncomparabilityReport,
+    adt_table_pair,
+    expected_figure_6_1,
+    expected_figure_6_2,
+    figure_6_1,
+    figure_6_2,
+    incomparability_report,
+)
+from .local_atomicity import (
+    incompatible_serialization_histories,
+    incompatible_specs,
+    mixed_recovery_system,
+    mixed_system_specs,
+)
+
+__all__ = [
+    "figure_6_1",
+    "figure_6_2",
+    "expected_figure_6_1",
+    "expected_figure_6_2",
+    "incomparability_report",
+    "IncomparabilityReport",
+    "adt_table_pair",
+    "section_3_2_sequences",
+    "section_3_3_history",
+    "section_3_4_perturbed_history",
+    "section_5_history",
+    "Configuration",
+    "standard_configurations",
+    "run_configuration",
+    "compare",
+    "exp_c1_hotspot",
+    "exp_c2_adts",
+    "exp_c3_symmetry",
+    "render_experiment",
+    "incompatible_serialization_histories",
+    "incompatible_specs",
+    "mixed_recovery_system",
+    "mixed_system_specs",
+]

@@ -1,0 +1,98 @@
+"""Regenerate the full EXPERIMENTS.md dataset: ``python -m repro.experiments``.
+
+Prints, in order: Figures 6-1/6-2 with match status, the worked-example
+audits, the incomparability report for every ADT, and the EXP-C1/C2/C3
+comparison tables.  This is the one-shot reproducibility entry point;
+the per-experiment benches under ``benchmarks/`` measure the same
+artifacts with assertions.
+"""
+
+from __future__ import annotations
+
+from ..adts import ALL_ADTS
+from ..core.atomicity import is_atomic, is_dynamic_atomic
+from ..core.views import DU, UIP
+from ..runtime import format_summary_table
+from .comparisons import exp_c1_hotspot, exp_c2_adts, exp_c3_symmetry
+from .examples import (
+    section_3_2_sequences,
+    section_3_3_history,
+    section_3_4_perturbed_history,
+    section_5_history,
+)
+from .figures import (
+    expected_figure_6_1,
+    expected_figure_6_2,
+    figure_6_1,
+    figure_6_2,
+    incomparability_report,
+)
+
+
+def main() -> int:
+    print("=" * 72)
+    print("Figures")
+    print("=" * 72)
+    f1, f2 = figure_6_1(), figure_6_2()
+    print(f1.render_ascii())
+    print()
+    print(f2.render_ascii())
+    print()
+    print("Figure 6-1 matches the paper:", f1.same_marks(expected_figure_6_1()))
+    print("Figure 6-2 matches the paper:", f2.same_marks(expected_figure_6_2()))
+    print()
+
+    print("=" * 72)
+    print("Worked examples")
+    print("=" * 72)
+    from ..adts import BankAccount
+
+    ba = BankAccount()
+    legal, illegal = section_3_2_sequences(ba)
+    print("§3.2 legal sequence in Spec(BA):   ", ba.is_legal(legal))
+    print("§3.2 illegal sequence in Spec(BA): ", ba.is_legal(illegal))
+    h = section_3_3_history()
+    print("§3.3 history atomic:               ", is_atomic(h, ba))
+    print("§3.4 history dynamic atomic:       ", is_dynamic_atomic(h, ba))
+    hp = section_3_4_perturbed_history()
+    print(
+        "§3.4 perturbed: atomic %s / dynamic atomic %s"
+        % (is_atomic(hp, ba), is_dynamic_atomic(hp, ba))
+    )
+    h5 = section_5_history()
+    print("§5   UIP(H,C):", " ".join(map(str, UIP(h5, "C"))))
+    print("§5   DU (H,C):", " ".join(map(str, DU(h5, "C"))))
+    print()
+
+    print("=" * 72)
+    print("NFC/NRBC incomparability across the ADT library")
+    print("=" * 72)
+    for adt_cls in ALL_ADTS:
+        print(incomparability_report(adt_cls()).render())
+    print()
+
+    print("=" * 72)
+    print("EXP-C1: hot-spot bank account")
+    print("=" * 72)
+    for mix, summaries in exp_c1_hotspot().items():
+        print("== %s ==" % mix)
+        print(format_summary_table(summaries))
+        print()
+
+    print("=" * 72)
+    print("EXP-C2: per-ADT workloads")
+    print("=" * 72)
+    for case, summaries in exp_c2_adts().items():
+        print("== %s ==" % case)
+        print(format_summary_table(summaries))
+        print()
+
+    print("=" * 72)
+    print("EXP-C3: symmetric-closure ablation")
+    print("=" * 72)
+    print(format_summary_table(exp_c3_symmetry()))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+"""Local atomicity (paper, Section 3.4 and Theorem 2), demonstrated.
+
+Two constructions:
+
+* :func:`incompatible_serialization_histories` — the classic failure
+  that motivates *local* atomicity properties: two objects, each
+  locally serializable, that force opposite serialization orders, so
+  the global history is not atomic.  Each local history is serializable
+  but **not** dynamic atomic — exactly why plain serializability is not
+  a local atomicity property and a stronger local condition (dynamic
+  atomicity) is needed.
+
+* :func:`mixed_recovery_system` — the positive side of Theorem 2:
+  different objects in one system may use *different* concurrency
+  control and recovery methods (here: update-in-place + NRBC locking on
+  one object, deferred update + NFC locking on another); as long as
+  each object is dynamic atomic, every global history is atomic.  The
+  tests drive this system with multi-object transactions and audit the
+  global histories.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..adts import BankAccount, Register, SetADT
+from ..core.events import commit, inv, invoke, respond
+from ..core.history import History
+from ..runtime import ManagedObject, TransactionSystem
+
+
+def incompatible_serialization_histories() -> Tuple[History, History, History]:
+    """Two registers whose local schedulers pick opposite orders.
+
+    Object ``X`` lets ``B`` read ``A``'s uncommitted write — a scheduler
+    that serializes by *access* order (A before B).  Object ``Y`` does
+    the same with the roles swapped (B before A).  Returns
+    ``(global_history, H|X, H|Y)``.
+
+    Facts (asserted in the tests):
+
+    * ``H|X`` is serializable (in the order A-B only);
+    * ``H|Y`` is serializable (in the order B-A only);
+    * the global history is **not** atomic — no single order works;
+    * neither local history is dynamic atomic: each allows an order
+      (its reverse) consistent with its local ``precedes`` that fails.
+      Dynamic atomicity would have caught the problem locally, which is
+      Theorem 2 in contrapositive.
+    """
+    events = [
+        # A writes X := 1; B reads X = 1 (uncommitted read — X's scheduler
+        # has committed itself to serializing A before B).
+        invoke(inv("write", 1), "X", "A"),
+        respond("ok", "X", "A"),
+        invoke(inv("read"), "X", "B"),
+        respond(1, "X", "B"),
+        # Meanwhile at Y the mirror image happens: B writes, A reads.
+        invoke(inv("write", 2), "Y", "B"),
+        respond("ok", "Y", "B"),
+        invoke(inv("read"), "Y", "A"),
+        respond(2, "Y", "A"),
+        # Both commit everywhere.
+        commit("X", "A"),
+        commit("Y", "A"),
+        commit("X", "B"),
+        commit("Y", "B"),
+    ]
+    h = History(events)
+    return h, h.project_objects("X"), h.project_objects("Y")
+
+
+def incompatible_specs():
+    """The serial specifications for the two registers above.
+
+    Registers over {0, 1, 2} with initial value 0.
+    """
+    return {
+        "X": Register("X", domain=(0, 1, 2), initial=0),
+        "Y": Register("Y", domain=(0, 1, 2), initial=0),
+    }
+
+
+def mixed_recovery_system() -> TransactionSystem:
+    """One system, three objects, three concurrency-control/recovery mixes.
+
+    * ``BA`` — bank account, update-in-place recovery, NRBC locking;
+    * ``SET`` — set, deferred-update recovery, NFC locking;
+    * ``REG`` — register, update-in-place, classical read/write locks
+      (2PL is correct with either method — it contains both relations).
+
+    Theorem 2 says the mix is safe: each object is dynamic atomic, so
+    every history of the whole system is atomic.
+    """
+    from ..runtime.baselines import read_write_conflict
+
+    ba = BankAccount("BA", opening=10)
+    st = SetADT("SET", domain=("a", "b"))
+    rg = Register("REG", domain=("u", "v"), initial="u")
+    return TransactionSystem(
+        [
+            ManagedObject(ba, ba.nrbc_conflict(), "UIP"),
+            ManagedObject(st, st.nfc_conflict(), "DU"),
+            ManagedObject(rg, read_write_conflict(rg), "UIP"),
+        ]
+    )
+
+
+def mixed_system_specs():
+    """The spec map matching :func:`mixed_recovery_system`."""
+    return {
+        "BA": BankAccount("BA", opening=10),
+        "SET": SetADT("SET", domain=("a", "b")),
+        "REG": Register("REG", domain=("u", "v"), initial="u"),
+    }

@@ -1,0 +1,80 @@
+"""The concrete transaction runtime: locks, recovery managers, scheduler.
+
+This package is the "systems" half of the reproduction: a lock-based
+multi-object transaction processor whose two knobs are exactly the
+paper's two parameters — the conflict relation (``Conflict``) and the
+recovery method (``View``).  Every run records an event history that the
+abstract checkers in :mod:`repro.core` can audit, which is how the
+integration tests tie the concrete implementation back to the theory.
+"""
+
+from .baselines import invocation_conflict, read_write_conflict
+from .durability import CrashableSystem, DurableObject, run_with_crashes
+from .errors import (
+    DeadlockDetected,
+    InvalidTransactionState,
+    RuntimeModelError,
+    TransactionAborted,
+    UnknownObjectError,
+)
+from .lock_manager import LockManager, WaitsForGraph
+from .metrics import MetricsSummary, RunMetrics, format_summary_table, summarize
+from .optimistic import OptimisticObject, OptimisticSystem, run_optimistic
+from .recovery import (
+    DeferredUpdateManager,
+    RecoveryManager,
+    UpdateInPlaceManager,
+    ViewRecoveryManager,
+    make_recovery_manager,
+)
+from .scheduler import Scheduler, TransactionScript, run_scripts
+from .system import ManagedObject, OperationOutcome, TransactionSystem
+from .wal import RedoOnlyLog, StableLog, UndoRedoLog
+from .workloads import (
+    escrow_workload,
+    hotspot_banking,
+    mixed_transfers,
+    producer_consumer,
+    set_membership_workload,
+)
+
+__all__ = [
+    "LockManager",
+    "WaitsForGraph",
+    "DurableObject",
+    "CrashableSystem",
+    "run_with_crashes",
+    "StableLog",
+    "UndoRedoLog",
+    "RedoOnlyLog",
+    "OptimisticObject",
+    "OptimisticSystem",
+    "run_optimistic",
+    "RecoveryManager",
+    "UpdateInPlaceManager",
+    "DeferredUpdateManager",
+    "ViewRecoveryManager",
+    "make_recovery_manager",
+    "ManagedObject",
+    "TransactionSystem",
+    "OperationOutcome",
+    "Scheduler",
+    "TransactionScript",
+    "run_scripts",
+    "RunMetrics",
+    "MetricsSummary",
+    "summarize",
+    "format_summary_table",
+    "read_write_conflict",
+    "invocation_conflict",
+    "hotspot_banking",
+    "escrow_workload",
+    "producer_consumer",
+    "set_membership_workload",
+    "mixed_transfers",
+    "RuntimeModelError",
+    "TransactionAborted",
+    "DeadlockDetected",
+    "UnknownObjectError",
+    "InvalidTransactionState",
+]

@@ -1,0 +1,235 @@
+"""Durable objects and crash-capable systems.
+
+:class:`DurableObject` is a :class:`~repro.runtime.system.ManagedObject`
+whose recovery manager is shadowed by a stable log
+(:mod:`repro.runtime.wal`): operations, commits and aborts reach the log
+under the discipline matching the recovery method, so the object can be
+*crashed* (volatile state and lock tables lost, in-flight transactions
+killed) and *restarted* from stable storage.
+
+:class:`CrashableSystem` lifts crashing to a multi-object
+:class:`~repro.runtime.system.TransactionSystem`: a crash aborts every
+active transaction (appending their abort events keeps the global
+history well formed, so the core checkers can audit executions that
+span crashes) and restarts every object, after which new transactions
+see exactly the committed state.
+
+The central invariant, tested across ADTs, crash points and logging
+policies: *restart reproduces the abstract view of the post-crash
+history* —
+
+    restart() == states_after(View(H_post_crash, fresh_txn))
+
+where ``H_post_crash`` is the pre-crash history with every in-flight
+transaction aborted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Set
+
+from ..adts.base import ADT
+from ..core.conflict import ConflictRelation
+from ..core.events import Invocation, Operation
+from .lock_manager import LockManager
+from .recovery import DeferredUpdateManager, UpdateInPlaceManager
+from .system import ManagedObject, TransactionSystem
+from .wal import RedoOnlyLog, UndoRedoLog
+
+
+class DurableObject(ManagedObject):
+    """A managed object with a stable log, crash() and restart()."""
+
+    def __init__(
+        self,
+        adt: ADT,
+        conflict: ConflictRelation,
+        recovery: str = "UIP",
+        *,
+        uip_strategy: str = "auto",
+        restart_policy: str = "replay-winners",
+    ):
+        super().__init__(adt, conflict, recovery, uip_strategy=uip_strategy)
+        self._recovery_method = recovery.upper()
+        if self._recovery_method == "UIP":
+            self.wal = UndoRedoLog(adt, restart_policy=restart_policy)
+        else:
+            self.wal = RedoOnlyLog(adt)
+        self.crashes = 0
+
+    # -- logging hooks wrapped around the volatile path --------------------------
+
+    def try_operation(self, txn, invocation, rng=None):
+        outcome = super().try_operation(txn, invocation, rng)
+        if outcome.ok:
+            # Write-ahead in spirit: the paper-level automaton applies
+            # state and log in one atomic step; the log record is what
+            # survives.
+            self.wal.on_execute(txn, outcome.operation)
+        return outcome
+
+    def commit(self, txn: str) -> None:
+        if isinstance(self.wal, RedoOnlyLog):
+            intentions = self.recovery.intentions_of(txn)
+            super().commit(txn)
+            self.wal.on_commit(txn, intentions)
+        else:
+            super().commit(txn)
+            self.wal.on_commit(txn)
+
+    def abort(self, txn: str) -> None:
+        had_events = txn in {e.txn for e in self._events}
+        super().abort(txn)
+        if had_events:
+            self.wal.on_abort(txn)
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def committed_macro(self):
+        """The committed state (what a checkpoint must capture)."""
+        if isinstance(self.recovery, DeferredUpdateManager):
+            return self.recovery.base_macro
+        # UIP: only safe to read as committed when nothing is active.
+        return self.recovery.current_macro
+
+    def checkpoint(self) -> None:
+        """Write a stable snapshot; requires a quiescent object under UIP."""
+        if isinstance(self.wal, UndoRedoLog) and self.locks.holders():
+            raise RuntimeError(
+                "UIP checkpoint requires quiescence (active: %s)"
+                % sorted(self.locks.holders())
+            )
+        self.wal.checkpoint(self.committed_macro())
+
+    # -- crash / restart --------------------------------------------------------------
+
+    def in_flight(self) -> Set[str]:
+        """Transactions with volatile effects or pending invocations here."""
+        return set(self.locks.holders()) | set(self._pending)
+
+    def crash_kill(self, txn: str) -> None:
+        """Record that ``txn`` died in a crash.
+
+        Appends the abort *event* (the semantic outcome: the transaction
+        takes effect nowhere) but writes **no** log record and performs
+        no volatile undo — a real crash gives the system no chance to do
+        either.  Restart must therefore treat the transaction as a
+        loser purely from the absence of its commit record.
+        """
+        from ..core.events import abort as abort_event
+
+        self._pending.pop(txn, None)
+        self._events.append(abort_event(self.name, txn))
+
+    def crash_and_restart(self) -> None:
+        """Lose all volatile state; rebuild from the stable log.
+
+        The caller (normally :class:`CrashableSystem`) is responsible
+        for appending abort events for in-flight transactions *before*
+        invoking this, so the object history stays consistent.
+        """
+        self.crashes += 1
+        restored = self.wal.restart()
+        self.locks = LockManager(self.conflict)
+        self._pending = {}
+        if self._recovery_method == "UIP":
+            manager = UpdateInPlaceManager(
+                self.adt,
+                strategy=self.recovery.strategy,
+            )
+            manager.rebase(restored)
+            self.recovery = manager
+        else:
+            manager = DeferredUpdateManager(self.adt)
+            manager._base = restored
+            self.recovery = manager
+
+
+class CrashableSystem(TransactionSystem):
+    """A transaction system whose objects can all crash at once."""
+
+    def __init__(self, objects: Sequence[DurableObject]):
+        super().__init__(objects)
+        self.crash_count = 0
+
+    def crash(self) -> Set[str]:
+        """Whole-system crash: kill all in-flight transactions, restart.
+
+        No undo is performed and no log records are written for the
+        victims — volatile state simply vanishes and each object's
+        restart procedure rebuilds the committed state from its stable
+        log.  Abort *events* are appended for the victims so that the
+        (bookkeeping) history remains well formed and auditable.
+
+        Returns the set of transactions killed by the crash.
+        """
+        self.crash_count += 1
+        victims: Set[str] = set()
+        for obj in self.objects.values():
+            victims |= obj.in_flight()
+        victims = {t for t in victims if self.status(t) == "active"}
+        for txn in sorted(victims):
+            for name in sorted(self._touched.get(txn, ())):
+                obj = self.objects[name]
+                obj.crash_kill(txn)
+                self._events.append(obj._events[-1])
+            self._finished[txn] = "aborted"
+        for obj in self.objects.values():
+            obj.crash_and_restart()
+        return victims
+
+
+def run_with_crashes(
+    system: CrashableSystem,
+    scripts,
+    *,
+    seed: int = 0,
+    crash_every: int = 10,
+    label: str = "",
+    max_restarts: int = 50,
+    max_ticks: int = 100_000,
+):
+    """Drive scripts through a scheduler, crashing the system periodically.
+
+    A thin specialization of :class:`~repro.runtime.scheduler.Scheduler`:
+    after every ``crash_every`` ticks the whole system crashes; script
+    instances whose transaction died restart as fresh transactions, like
+    deadlock victims.  Returns ``(metrics, crashes)``.
+    """
+    from .scheduler import Scheduler
+
+    scheduler = Scheduler(
+        system,
+        scripts,
+        seed=seed,
+        label=label,
+        max_restarts=max_restarts,
+        max_ticks=max_ticks,
+    )
+    crashes = 0
+
+    original_tick = scheduler._tick
+
+    def tick_with_crashes(tick, live):
+        nonlocal crashes
+        progressed = original_tick(tick, live)
+        if crash_every and tick % crash_every == 0:
+            victims = system.crash()
+            crashes += 1
+            for entry in scheduler._live:
+                if entry.txn in victims:
+                    scheduler.metrics.aborted += 1
+                    scheduler._waits.remove_transaction(entry.txn)
+                    entry.restarts += 1
+                    if entry.restarts <= scheduler.max_restarts:
+                        scheduler.metrics.restarts += 1
+                        entry.txn = "%s~r%d" % (entry.script.name, entry.restarts)
+                        entry.step = 0
+                        entry.born_tick = tick
+            scheduler._waits = type(scheduler._waits)()
+            progressed = True
+        return progressed
+
+    scheduler._tick = tick_with_crashes
+    metrics = scheduler.run()
+    return metrics, crashes

@@ -1,0 +1,134 @@
+"""Conflict-based operation locking with waits-for deadlock detection.
+
+The abstract automaton's concurrency-control precondition — "the new
+operation must not conflict with any operation executed by another
+active transaction" — is exactly conflict-based locking with locks
+keyed on *operations* (paper, Section 4): the locks a transaction holds
+are implicit in the operations it has executed, and they are released
+when the transaction commits or aborts.
+
+:class:`LockManager` makes the locking explicit for one object:
+
+* :meth:`blockers` — the active transactions whose held operations
+  conflict with a proposed new operation (empty = the "lock" is free);
+* :meth:`acquire` — record an executed operation (a held lock);
+* :meth:`release_all` — commit/abort processing.
+
+:class:`WaitsForGraph` aggregates blocking edges across all objects of a
+system and detects cycles, so the scheduler can pick deadlock victims.
+Both structures are deliberately simple and deterministic — they are a
+substrate for measuring what the *conflict relation* allows, not an
+exercise in lock-manager engineering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..core.conflict import ConflictRelation
+from ..core.events import Operation
+
+
+class LockManager:
+    """Operation locks for one object under a given conflict relation."""
+
+    def __init__(self, conflict: ConflictRelation):
+        self.conflict = conflict
+        self._held: Dict[str, List[Operation]] = {}
+
+    def held_by(self, txn: str) -> Tuple[Operation, ...]:
+        """The operations (implicit locks) currently held by ``txn``."""
+        return tuple(self._held.get(txn, ()))
+
+    def holders(self) -> FrozenSet[str]:
+        """Transactions currently holding at least one operation."""
+        return frozenset(self._held)
+
+    def blockers(self, txn: str, operation: Operation) -> FrozenSet[str]:
+        """Other transactions whose held operations conflict with ``operation``."""
+        blocking: Set[str] = set()
+        for other, ops in self._held.items():
+            if other == txn:
+                continue
+            for old in ops:
+                if self.conflict.conflicts(operation, old):
+                    blocking.add(other)
+                    break
+        return frozenset(blocking)
+
+    def can_acquire(self, txn: str, operation: Operation) -> bool:
+        """True iff ``operation`` conflicts with no other transaction's locks."""
+        return not self.blockers(txn, operation)
+
+    def acquire(self, txn: str, operation: Operation) -> None:
+        """Record an executed operation; caller must have checked blockers."""
+        self._held.setdefault(txn, []).append(operation)
+
+    def release_all(self, txn: str) -> Tuple[Operation, ...]:
+        """Drop every lock of ``txn`` (commit or abort); returns what was held."""
+        return tuple(self._held.pop(txn, ()))
+
+
+class WaitsForGraph:
+    """A dynamic waits-for graph over transactions, with cycle detection."""
+
+    def __init__(self) -> None:
+        self._edges: Dict[str, Set[str]] = {}
+
+    def wait(self, waiter: str, holders: Iterable[str]) -> None:
+        """Record the *current* block set of ``waiter``, replacing stale edges.
+
+        Each blocked attempt reports the complete set of conflicting
+        holders at that moment, so earlier edges (whose holders may have
+        since released their locks) must not linger — stale edges would
+        manufacture spurious deadlock cycles.
+        """
+        targets = {h for h in holders if h != waiter}
+        if targets:
+            self._edges[waiter] = targets
+        else:
+            self._edges.pop(waiter, None)
+
+    def clear_waiter(self, waiter: str) -> None:
+        """``waiter`` is no longer blocked (it ran, committed or aborted)."""
+        self._edges.pop(waiter, None)
+
+    def remove_transaction(self, txn: str) -> None:
+        """Drop the transaction entirely (as waiter and as blocker)."""
+        self._edges.pop(txn, None)
+        for targets in self._edges.values():
+            targets.discard(txn)
+
+    def edges(self) -> FrozenSet[Tuple[str, str]]:
+        return frozenset(
+            (w, h) for w, hs in self._edges.items() for h in hs
+        )
+
+    def find_cycle(self) -> Optional[Tuple[str, ...]]:
+        """Some waits-for cycle, or None.  Deterministic DFS order."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {}
+        stack_path: List[str] = []
+
+        def dfs(node: str) -> Optional[Tuple[str, ...]]:
+            color[node] = GRAY
+            stack_path.append(node)
+            for nxt in sorted(self._edges.get(node, ())):
+                c = color.get(nxt, WHITE)
+                if c == GRAY:
+                    i = stack_path.index(nxt)
+                    return tuple(stack_path[i:])
+                if c == WHITE:
+                    found = dfs(nxt)
+                    if found is not None:
+                        return found
+            stack_path.pop()
+            color[node] = BLACK
+            return None
+
+        for start in sorted(self._edges):
+            if color.get(start, WHITE) == WHITE:
+                cycle = dfs(start)
+                if cycle is not None:
+                    return cycle
+        return None

@@ -1,0 +1,115 @@
+"""Run metrics for the transaction-system simulator.
+
+The simulator measures *logical* concurrency, not wall-clock speed: each
+tick, every running transaction gets the chance to execute one
+operation.  A conflict relation that blocks more therefore stretches the
+run over more ticks; the headline number is committed transactions per
+tick (``throughput``).  Abort/restart counts capture deadlock pressure,
+and ``blocked_attempts`` the raw amount of lock contention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass
+class RunMetrics:
+    """Counters from one simulation run."""
+
+    label: str = ""
+    ticks: int = 0
+    committed: int = 0
+    aborted: int = 0
+    restarts: int = 0
+    deadlocks: int = 0
+    operations: int = 0
+    blocked_attempts: int = 0
+    stuck_aborts: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per tick (the concurrency yardstick)."""
+        if self.ticks == 0:
+            return 0.0
+        return self.committed / self.ticks
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        if total == 0:
+            return 0.0
+        return self.aborted / total
+
+    def row(self) -> Tuple:
+        return (
+            self.label,
+            self.ticks,
+            self.committed,
+            self.aborted,
+            self.restarts,
+            self.deadlocks,
+            self.blocked_attempts,
+            round(self.throughput, 4),
+        )
+
+
+@dataclass
+class MetricsSummary:
+    """Mean/min/max aggregation of one metric across seeds."""
+
+    label: str
+    runs: int
+    mean_throughput: float
+    min_throughput: float
+    max_throughput: float
+    mean_ticks: float
+    mean_blocked: float
+    mean_aborted: float
+    mean_deadlocks: float
+
+
+def summarize(label: str, runs: Sequence[RunMetrics]) -> MetricsSummary:
+    """Aggregate runs of the same configuration across seeds."""
+    if not runs:
+        raise ValueError("no runs to summarize")
+    throughputs = [r.throughput for r in runs]
+    return MetricsSummary(
+        label=label,
+        runs=len(runs),
+        mean_throughput=sum(throughputs) / len(runs),
+        min_throughput=min(throughputs),
+        max_throughput=max(throughputs),
+        mean_ticks=sum(r.ticks for r in runs) / len(runs),
+        mean_blocked=sum(r.blocked_attempts for r in runs) / len(runs),
+        mean_aborted=sum(r.aborted for r in runs) / len(runs),
+        mean_deadlocks=sum(r.deadlocks for r in runs) / len(runs),
+    )
+
+
+def format_summary_table(summaries: Sequence[MetricsSummary]) -> str:
+    """A fixed-width comparison table, best throughput first."""
+    rows = sorted(summaries, key=lambda s: -s.mean_throughput)
+    header = "%-28s %8s %8s %9s %9s %9s" % (
+        "configuration",
+        "thruput",
+        "ticks",
+        "blocked",
+        "aborted",
+        "deadlocks",
+    )
+    lines = [header, "-" * len(header)]
+    for s in rows:
+        lines.append(
+            "%-28s %8.4f %8.1f %9.1f %9.1f %9.1f"
+            % (
+                s.label,
+                s.mean_throughput,
+                s.mean_ticks,
+                s.mean_blocked,
+                s.mean_aborted,
+                s.mean_deadlocks,
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,258 @@
+"""The discrete-event transaction scheduler.
+
+Drives a set of straight-line transaction scripts against a
+:class:`~repro.runtime.system.TransactionSystem`:
+
+* each *tick*, every live transaction attempts its next operation (in a
+  seeded random order, so interleavings vary across seeds);
+* a blocked attempt records waits-for edges; a waits-for cycle aborts a
+  victim (the youngest transaction in the cycle), as does a transaction
+  whose recovery view has become illegal (``stuck``);
+* aborted scripts restart as *fresh* transactions (the model does not
+  allow a transaction to continue after aborting), up to a restart
+  budget;
+* a script whose operations have all executed commits via the system's
+  two-phase protocol.
+
+The scheduler is the measurement instrument for the EXP-C* experiments:
+it never inspects the conflict relation or recovery method itself, so
+differences in the metrics are attributable to the
+(``Conflict``, ``View``) configuration under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from ..core.events import Invocation
+from .errors import InvalidTransactionState
+from .lock_manager import WaitsForGraph
+from .metrics import RunMetrics
+from .system import TransactionSystem
+
+
+@dataclass(frozen=True)
+class TransactionScript:
+    """A straight-line transaction: a name and its (object, invocation) steps."""
+
+    name: str
+    steps: Tuple[Tuple[str, Invocation], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "steps", tuple(self.steps))
+
+
+@dataclass
+class _LiveTxn:
+    """Scheduler-side state of one script instance."""
+
+    script: TransactionScript
+    txn: str  # current transaction name (changes across restarts)
+    step: int = 0
+    restarts: int = 0
+    born_tick: int = 0
+    backoff_until: int = 0  # restarted victims wait before re-entering
+    #: transactions (incarnations) that must finish before re-entry —
+    #: the surviving members of the deadlock cycle this entry died in.
+    wait_for: FrozenSet[str] = frozenset()
+
+    @property
+    def done(self) -> bool:
+        return self.step >= len(self.script.steps)
+
+
+class Scheduler:
+    """Run transaction scripts to completion and collect metrics."""
+
+    def __init__(
+        self,
+        system: TransactionSystem,
+        scripts: Sequence[TransactionScript],
+        *,
+        seed: int = 0,
+        max_restarts: int = 25,
+        max_ticks: int = 100_000,
+        label: str = "",
+    ):
+        names = [s.name for s in scripts]
+        if len(set(names)) != len(names):
+            raise ValueError("script names must be unique")
+        self.system = system
+        self.scripts = tuple(scripts)
+        self.rng = random.Random(seed)
+        self.max_restarts = max_restarts
+        self.max_ticks = max_ticks
+        self.metrics = RunMetrics(label=label)
+        self._live: List[_LiveTxn] = [
+            _LiveTxn(script=s, txn=s.name) for s in scripts
+        ]
+        self._waits = WaitsForGraph()
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self) -> RunMetrics:
+        """Run until every script commits or exhausts its restart budget."""
+        for tick in range(1, self.max_ticks + 1):
+            live = [t for t in self._live if not self._is_retired(t)]
+            if not live:
+                break
+            self.metrics.ticks = tick
+            progressed = self._tick(tick, live)
+            if not progressed:
+                self._break_deadlock(tick, live)
+        else:
+            raise RuntimeError(
+                "scheduler did not converge within %d ticks" % self.max_ticks
+            )
+        return self.metrics
+
+    def _is_retired(self, live: _LiveTxn) -> bool:
+        """Finished successfully, or out of restart budget."""
+        if live.done and self.system.status(live.txn) == "committed":
+            return True
+        return live.restarts > self.max_restarts
+
+    def _tick(self, tick: int, live: List[_LiveTxn]) -> bool:
+        """One pass over the live transactions; True if anything progressed."""
+        order = list(live)
+        self.rng.shuffle(order)
+        progressed = False
+        for entry in order:
+            if entry.wait_for:
+                # Victim-waits-for-winners: re-enter only once every
+                # surviving member of the deadlock cycle this entry died
+                # in has finished (each is an incarnation the scheduler
+                # drives to commit or abort).  Sitting out is not
+                # progress: if nothing else moves, the stall-breaker
+                # must still run so the waited-on transactions unblock.
+                entry.wait_for = frozenset(
+                    t
+                    for t in entry.wait_for
+                    if self.system.status(t) == "active"
+                )
+                if entry.wait_for:
+                    continue
+            if entry.backoff_until > tick:
+                continue
+            if entry.done:
+                if self.system.commit(entry.txn):
+                    self.metrics.committed += 1
+                    self._waits.remove_transaction(entry.txn)
+                    progressed = True
+                continue
+            obj_name, invocation = entry.script.steps[entry.step]
+            outcome = self.system.invoke(entry.txn, obj_name, invocation, self.rng)
+            if outcome.ok:
+                entry.step += 1
+                self.metrics.operations += 1
+                self._waits.clear_waiter(entry.txn)
+                progressed = True
+            elif outcome.status == "blocked":
+                self.metrics.blocked_attempts += 1
+                self._waits.wait(entry.txn, outcome.blockers)
+            else:  # stuck: the recovery view is illegal; abort immediately
+                self.metrics.stuck_aborts += 1
+                self._abort_and_restart(entry, tick, reason="stuck")
+                progressed = True
+        return progressed
+
+    def _break_deadlock(self, tick: int, live: List[_LiveTxn]) -> None:
+        """No transaction progressed: abort a waits-for cycle victim."""
+        cycle = self._waits.find_cycle()
+        survivors: FrozenSet[str] = frozenset()
+        if cycle is not None:
+            self.metrics.deadlocks += 1
+            victim_txn = self._pick_victim(cycle, live)
+            survivors = frozenset(cycle) - {victim_txn}
+        else:
+            # No cycle.  If some transactions are genuinely runnable
+            # (not napping, not waiting) but blocked, abort one with the
+            # same aging policy; if everyone is merely napping or
+            # waiting out winners, do nothing — backoffs expire with the
+            # tick counter and waits resolve when their targets finish.
+            blocked = [
+                t
+                for t in live
+                if not t.done and not t.wait_for and t.backoff_until <= tick
+            ]
+            if not blocked:
+                return
+            victim_txn = self._victim_key_min(blocked).txn
+        for entry in live:
+            if entry.txn == victim_txn:
+                self._abort_and_restart(
+                    entry, tick, reason="deadlock", wait_for=survivors
+                )
+                return
+
+    def _pick_victim(self, cycle: Sequence[str], live: List[_LiveTxn]) -> str:
+        """The cycle member with the fewest prior restarts.
+
+        Restart count is the seniority measure (wait-die-style aging): a
+        transaction that has already been sacrificed gains immunity, so
+        no script can starve under repeated deadlocks.  Ties break
+        toward the youngest incarnation with the least sunk work.
+        """
+        by_txn = {t.txn: t for t in live}
+        members = [by_txn[t] for t in cycle if t in by_txn]
+        if not members:
+            return cycle[0]
+        return self._victim_key_min(members).txn
+
+    @staticmethod
+    def _victim_key_min(members: List[_LiveTxn]) -> _LiveTxn:
+        return min(
+            members,
+            key=lambda t: (t.restarts, -t.born_tick, t.step, t.script.name),
+        )
+
+    def _abort_and_restart(
+        self,
+        entry: _LiveTxn,
+        tick: int,
+        reason: str,
+        wait_for: FrozenSet[str] = frozenset(),
+    ) -> None:
+        try:
+            self.system.abort(entry.txn)
+        except InvalidTransactionState:
+            pass  # never touched any object: nothing to abort
+        self.metrics.aborted += 1
+        self._waits.remove_transaction(entry.txn)
+        entry.restarts += 1
+        if entry.restarts <= self.max_restarts:
+            self.metrics.restarts += 1
+            entry.txn = "%s~r%d" % (entry.script.name, entry.restarts)
+            entry.step = 0
+            entry.born_tick = tick
+            entry.wait_for = wait_for
+            # Randomized exponential backoff breaks repeat-collision
+            # livelock: the window grows with the restart count until a
+            # conflicting peer can finish a whole transaction inside it.
+            horizon = max(2, len(entry.script.steps)) * min(
+                1 + entry.restarts, 32
+            )
+            entry.backoff_until = tick + self.rng.randint(1, horizon)
+
+
+def run_scripts(
+    system: TransactionSystem,
+    scripts: Sequence[TransactionScript],
+    *,
+    seed: int = 0,
+    label: str = "",
+    max_restarts: int = 25,
+    max_ticks: int = 100_000,
+) -> RunMetrics:
+    """Convenience: build a scheduler, run it, return the metrics."""
+    scheduler = Scheduler(
+        system,
+        scripts,
+        seed=seed,
+        label=label,
+        max_restarts=max_restarts,
+        max_ticks=max_ticks,
+    )
+    return scheduler.run()

@@ -1,0 +1,245 @@
+"""Managed objects and the multi-object transaction system.
+
+:class:`ManagedObject` is the concrete counterpart of the abstract
+automaton ``I(X, Spec, View, Conflict)``: an ADT instance wired to a
+:class:`~repro.runtime.lock_manager.LockManager` (the ``Conflict`` half)
+and a :class:`~repro.runtime.recovery.RecoveryManager` (the ``View``
+half).  Every event it processes is also appended to an event history,
+so a run of the concrete system can be audited post-hoc with the
+*abstract* checkers — the integration tests replay runtime histories
+through :func:`repro.core.atomicity.is_dynamic_atomic` and through the
+abstract automaton's acceptance test.
+
+:class:`TransactionSystem` manages several objects and provides the
+transaction-facing API (``invoke`` / ``commit`` / ``abort``).  Commit is
+performed with a two-phase protocol: every object touched by the
+transaction is asked to *prepare* (vote), and only a unanimous yes leads
+to commit events everywhere — the paper's *atomic commitment*
+assumption (Section 2), which its model presumes rather than analyzes.
+In this failure-free simulation objects always vote yes; the protocol
+skeleton exists so the event order (all responses before any commit
+event) matches the model's well-formedness constraints.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
+
+from ..adts.base import ADT
+from ..core.conflict import ConflictRelation
+from ..core.events import (
+    Event,
+    Invocation,
+    Operation,
+    abort as abort_event,
+    commit as commit_event,
+    invoke as invoke_event,
+    respond as respond_event,
+)
+from ..core.history import History
+from .errors import InvalidTransactionState, UnknownObjectError
+from .lock_manager import LockManager
+from .recovery import RecoveryManager, make_recovery_manager
+
+
+@dataclass(frozen=True)
+class OperationOutcome:
+    """Result of attempting one operation at one object."""
+
+    status: str  # "ok" | "blocked" | "stuck"
+    operation: Optional[Operation] = None
+    blockers: FrozenSet[str] = frozenset()
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class ManagedObject:
+    """One object: ADT + conflict-based locks + a recovery manager."""
+
+    def __init__(
+        self,
+        adt: ADT,
+        conflict: ConflictRelation,
+        recovery: str = "UIP",
+        *,
+        uip_strategy: str = "auto",
+        response_chooser=None,
+    ):
+        self.adt = adt
+        self.conflict = conflict
+        self.locks = LockManager(conflict)
+        if isinstance(recovery, RecoveryManager):
+            self.recovery: RecoveryManager = recovery
+        else:
+            self.recovery = make_recovery_manager(
+                adt, recovery, uip_strategy=uip_strategy
+            )
+        self._response_chooser = response_chooser
+        self._pending: Dict[str, Invocation] = {}
+        self._events: List[Event] = []
+
+    @property
+    def name(self) -> str:
+        return self.adt.name
+
+    def history(self) -> History:
+        """The object-local event history (``H|X``)."""
+        return History(self._events, validate=False)
+
+    # -- operation execution -------------------------------------------------------
+
+    def try_operation(
+        self, txn: str, invocation: Invocation, rng: Optional[random.Random] = None
+    ) -> OperationOutcome:
+        """Attempt to execute ``invocation`` for ``txn``.
+
+        The first attempt records the invocation event (the transaction
+        is now *pending* here); re-attempts of a blocked invocation do
+        not re-record it.  Returns
+
+        * ``ok`` with the completed operation — response computed from
+          the recovery view, locks acquired, effects recorded;
+        * ``blocked`` with the conflicting holders — every legal
+          response conflicts with another active transaction's held
+          operation;
+        * ``stuck`` — the recovery view enables no response at all
+          (poisoned view under an under-constrained conflict relation).
+        """
+        pending = self._pending.get(txn)
+        if pending is None:
+            self._pending[txn] = invocation
+            self._events.append(invoke_event(invocation, self.name, txn))
+        elif pending != invocation:
+            raise InvalidTransactionState(
+                "transaction %s is pending %s at %s, not %s"
+                % (txn, pending, self.name, invocation)
+            )
+        responses = self.recovery.enabled_responses(txn, invocation)
+        if not responses:
+            return OperationOutcome("stuck")
+        blockers: Set[str] = set()
+        free: List[Tuple[Hashable, Operation]] = []
+        for response in sorted(responses, key=repr):
+            operation = self.adt.operation(invocation, response)
+            holders = self.locks.blockers(txn, operation)
+            if holders:
+                blockers.update(holders)
+            else:
+                free.append((response, operation))
+        if not free:
+            return OperationOutcome("blocked", blockers=frozenset(blockers))
+        if self._response_chooser is not None:
+            response, operation = self._response_chooser(free)
+        elif rng is not None and len(free) > 1:
+            response, operation = rng.choice(free)
+        else:
+            response, operation = free[0]
+        self.locks.acquire(txn, operation)
+        self.recovery.on_execute(txn, operation)
+        self._pending.pop(txn, None)
+        self._events.append(respond_event(response, self.name, txn))
+        return OperationOutcome("ok", operation=operation)
+
+    # -- transaction completion -------------------------------------------------------
+
+    def prepare(self, txn: str) -> bool:
+        """Two-phase commit vote.  A transaction with a pending invocation
+        cannot commit (well-formedness); otherwise this simulation always
+        votes yes."""
+        return txn not in self._pending
+
+    def commit(self, txn: str) -> None:
+        self.locks.release_all(txn)
+        self.recovery.on_commit(txn)
+        self._events.append(commit_event(self.name, txn))
+
+    def abort(self, txn: str) -> None:
+        self._pending.pop(txn, None)
+        self.locks.release_all(txn)
+        self.recovery.on_abort(txn)
+        self._events.append(abort_event(self.name, txn))
+
+
+class TransactionSystem:
+    """Several managed objects plus transaction bookkeeping and 2PC commit."""
+
+    def __init__(self, objects: Sequence[ManagedObject]):
+        self.objects: Dict[str, ManagedObject] = {}
+        for obj in objects:
+            if obj.name in self.objects:
+                raise ValueError("duplicate object name %r" % obj.name)
+            self.objects[obj.name] = obj
+        self._touched: Dict[str, Set[str]] = {}
+        self._finished: Dict[str, str] = {}  # txn -> "committed" | "aborted"
+        self._events: List[Event] = []
+
+    # -- introspection ------------------------------------------------------------
+
+    def history(self) -> History:
+        """The global event history, in true execution order."""
+        return History(self._events, validate=False)
+
+    def status(self, txn: str) -> str:
+        return self._finished.get(txn, "active")
+
+    def object(self, name: str) -> ManagedObject:
+        obj = self.objects.get(name)
+        if obj is None:
+            raise UnknownObjectError(name)
+        return obj
+
+    # -- transaction API ---------------------------------------------------------
+
+    def invoke(
+        self,
+        txn: str,
+        obj_name: str,
+        invocation: Invocation,
+        rng: Optional[random.Random] = None,
+    ) -> OperationOutcome:
+        """Attempt one operation; records the events at both scopes."""
+        self._require_active(txn)
+        obj = self.object(obj_name)
+        before = len(obj._events)
+        outcome = obj.try_operation(txn, invocation, rng)
+        self._events.extend(obj._events[before:])
+        self._touched.setdefault(txn, set()).add(obj_name)
+        return outcome
+
+    def commit(self, txn: str) -> bool:
+        """Two-phase commit across every object the transaction touched.
+
+        Returns False (and aborts the transaction) if any object votes no
+        — which in this failure-free simulation only happens when the
+        transaction still has a pending invocation somewhere.
+        """
+        self._require_active(txn)
+        touched = sorted(self._touched.get(txn, ()))
+        for name in touched:
+            if not self.object(name).prepare(txn):
+                self.abort(txn)
+                return False
+        for name in touched:
+            obj = self.object(name)
+            obj.commit(txn)
+            self._events.append(obj._events[-1])
+        self._finished[txn] = "committed"
+        return True
+
+    def abort(self, txn: str) -> None:
+        self._require_active(txn)
+        for name in sorted(self._touched.get(txn, ())):
+            obj = self.object(name)
+            obj.abort(txn)
+            self._events.append(obj._events[-1])
+        self._finished[txn] = "aborted"
+
+    def _require_active(self, txn: str) -> None:
+        if txn in self._finished:
+            raise InvalidTransactionState(
+                "transaction %s already %s" % (txn, self._finished[txn])
+            )

@@ -1,0 +1,262 @@
+"""Crash recovery: stable logs, checkpoints, crash injection and restart.
+
+The paper analyzes recovery from transaction *aborts* and explicitly
+defers crash recovery, noting that "crash recovery mechanisms are
+frequently similar to abort recovery mechanisms" (Section 1).  This
+module builds that deferred piece for both recovery families, on the
+simulated storage hierarchy the rest of the runtime uses:
+
+* **volatile state** — the recovery manager's materialized macro-state
+  and lock tables; lost at a crash;
+* **stable log** — an append-only record list that survives crashes;
+* **checkpoints** — optional stable snapshots enabling log truncation.
+
+Logging disciplines, one per recovery method:
+
+* :class:`UndoRedoLog` (update-in-place) — write-ahead: every operation
+  is logged *before* it is applied to the current state; commit and
+  abort append their own records.  Restart offers two equivalent
+  policies, both checked against the abstract views in the tests:
+
+  - ``"replay-winners"`` — rebuild from the last checkpoint by applying
+    only committed transactions' operations, in execution order (this
+    *is* the UIP view of the post-crash history);
+  - ``"redo-undo"`` — ARIES-flavored: repeat history (apply everything),
+    then undo loser transactions' operations in reverse log order with
+    the ADT's logical undo.  Requires ``supports_logical_undo``.
+
+* :class:`RedoOnlyLog` (deferred update) — intentions lists live in
+  volatile memory; commit atomically forces one record carrying the
+  whole intentions list.  Restart replays committed intentions in
+  commit order — the DU view of the post-crash history.  Losers need no
+  log I/O at all, which is the classic DU trade: cheap aborts and
+  crashes, more expensive commits.
+
+Crashing is modeled at the object level by
+:class:`~repro.runtime.durability.DurableObject` and at the system
+level by :class:`~repro.runtime.durability.CrashableSystem`; a crash
+aborts every in-flight transaction (their abort events make the
+post-crash history well formed and auditable by the core checkers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Set, Tuple
+
+from ..adts.base import ADT
+from ..core.events import Operation
+
+MacroState = FrozenSet
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base class for stable-log records."""
+
+    lsn: int
+
+
+@dataclass(frozen=True)
+class OperationRecord(LogRecord):
+    """UIP write-ahead record: ``txn`` executed ``operation``."""
+
+    txn: str = ""
+    operation: Operation = None
+
+
+@dataclass(frozen=True)
+class CommitRecord(LogRecord):
+    """The transaction committed (forced at commit time)."""
+
+    txn: str = ""
+
+
+@dataclass(frozen=True)
+class AbortRecord(LogRecord):
+    """The transaction aborted (its effects were undone in volatile state)."""
+
+    txn: str = ""
+
+
+@dataclass(frozen=True)
+class IntentionsRecord(LogRecord):
+    """DU commit record: the transaction's entire intentions list."""
+
+    txn: str = ""
+    operations: Tuple[Operation, ...] = ()
+
+
+@dataclass(frozen=True)
+class CheckpointRecord(LogRecord):
+    """A stable snapshot of the object's macro-state.
+
+    For UIP the snapshot must only contain *committed* effects (taken
+    when no transaction is active), so restart never needs log records
+    older than the last checkpoint.
+    """
+
+    macro: MacroState = frozenset()
+
+
+class StableLog:
+    """An append-only, crash-surviving record list with truncation."""
+
+    def __init__(self) -> None:
+        self._records: List[LogRecord] = []
+        self._next_lsn = 0
+        self.forces = 0  # counts synchronous flushes (a cost model hook)
+
+    def append(self, make_record) -> LogRecord:
+        """Append ``make_record(lsn)``; returns the record."""
+        record = make_record(self._next_lsn)
+        self._records.append(record)
+        self._next_lsn += 1
+        return record
+
+    def force(self) -> None:
+        """A synchronous flush (the log is always durable here; we count)."""
+        self.forces += 1
+
+    def records(self) -> Tuple[LogRecord, ...]:
+        return tuple(self._records)
+
+    def truncate_before(self, lsn: int) -> int:
+        """Drop records with LSN < ``lsn``; returns how many were dropped."""
+        kept = [r for r in self._records if r.lsn >= lsn]
+        dropped = len(self._records) - len(kept)
+        self._records = kept
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+class UndoRedoLog:
+    """Write-ahead logging for update-in-place recovery."""
+
+    def __init__(self, adt: ADT, *, restart_policy: str = "replay-winners"):
+        if restart_policy not in ("replay-winners", "redo-undo"):
+            raise ValueError("unknown restart policy %r" % restart_policy)
+        if restart_policy == "redo-undo" and not adt.supports_logical_undo:
+            raise ValueError(
+                "%s does not support logical undo; use replay-winners"
+                % type(adt).__name__
+            )
+        self.adt = adt
+        self.restart_policy = restart_policy
+        self.log = StableLog()
+
+    # -- normal operation ----------------------------------------------------
+
+    def on_execute(self, txn: str, operation: Operation) -> None:
+        """WAL: the operation record precedes the volatile state update."""
+        self.log.append(
+            lambda lsn: OperationRecord(lsn, txn=txn, operation=operation)
+        )
+
+    def on_commit(self, txn: str) -> None:
+        self.log.append(lambda lsn: CommitRecord(lsn, txn=txn))
+        self.log.force()
+
+    def on_abort(self, txn: str) -> None:
+        self.log.append(lambda lsn: AbortRecord(lsn, txn=txn))
+
+    def checkpoint(self, committed_macro: MacroState) -> None:
+        """Write a snapshot of committed state and truncate the log."""
+        record = self.log.append(
+            lambda lsn: CheckpointRecord(lsn, macro=committed_macro)
+        )
+        self.log.force()
+        self.log.truncate_before(record.lsn)
+
+    # -- restart ----------------------------------------------------------------
+
+    def restart(self) -> MacroState:
+        """Rebuild the committed state from stable storage."""
+        records = self.log.records()
+        start_macro = self.adt.initial_macro_state()
+        start_index = 0
+        for i, record in enumerate(records):
+            if isinstance(record, CheckpointRecord):
+                start_macro = record.macro
+                start_index = i + 1
+        tail = records[start_index:]
+        committed: Set[str] = {
+            r.txn for r in tail if isinstance(r, CommitRecord)
+        }
+        aborted: Set[str] = {r.txn for r in tail if isinstance(r, AbortRecord)}
+        if self.restart_policy == "replay-winners":
+            macro = start_macro
+            for record in tail:
+                if (
+                    isinstance(record, OperationRecord)
+                    and record.txn in committed
+                ):
+                    macro = self.adt.step_macro(macro, record.operation)
+            return macro
+        # redo-undo: repeat history, then undo losers in reverse order.
+        # Losers are transactions with neither a commit nor an abort
+        # record (in flight at the crash); aborted transactions are
+        # compensated at their abort record, repeating what the
+        # pre-crash system did in volatile state.
+        macro = start_macro
+        loser_ops: List[Operation] = []
+        for record in tail:
+            if isinstance(record, OperationRecord):
+                macro = self.adt.step_macro(macro, record.operation)
+                if record.txn not in committed and record.txn not in aborted:
+                    loser_ops.append(record.operation)
+            elif isinstance(record, AbortRecord):
+                ops = [
+                    r.operation
+                    for r in tail
+                    if isinstance(r, OperationRecord) and r.txn == record.txn
+                ]
+                for operation in reversed(ops):
+                    macro = self._undo_macro(macro, operation)
+        for operation in reversed(loser_ops):
+            macro = self._undo_macro(macro, operation)
+        return macro
+
+    def _undo_macro(self, macro: MacroState, operation: Operation) -> MacroState:
+        return frozenset(self.adt.undo(state, operation) for state in macro)
+
+
+class RedoOnlyLog:
+    """Redo-only logging for deferred-update recovery."""
+
+    def __init__(self, adt: ADT):
+        self.adt = adt
+        self.log = StableLog()
+
+    def on_execute(self, txn: str, operation: Operation) -> None:
+        """Intentions are volatile until commit: no log traffic."""
+
+    def on_commit(self, txn: str, intentions: Sequence[Operation]) -> None:
+        self.log.append(
+            lambda lsn: IntentionsRecord(
+                lsn, txn=txn, operations=tuple(intentions)
+            )
+        )
+        self.log.force()
+
+    def on_abort(self, txn: str) -> None:
+        """Nothing: the volatile intentions list simply disappears."""
+
+    def checkpoint(self, committed_macro: MacroState) -> None:
+        record = self.log.append(
+            lambda lsn: CheckpointRecord(lsn, macro=committed_macro)
+        )
+        self.log.force()
+        self.log.truncate_before(record.lsn)
+
+    def restart(self) -> MacroState:
+        macro = self.adt.initial_macro_state()
+        for record in self.log.records():
+            if isinstance(record, CheckpointRecord):
+                macro = record.macro
+            elif isinstance(record, IntentionsRecord):
+                for operation in record.operations:
+                    macro = self.adt.step_macro(macro, operation)
+        return macro

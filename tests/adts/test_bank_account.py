@@ -1,0 +1,147 @@
+"""Unit tests for the bank-account ADT (the paper's M(BA))."""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.adts.bank_account import (
+    BALANCE,
+    DEPOSIT,
+    FIGURE_6_1_MARKS,
+    FIGURE_6_2_MARKS,
+    WITHDRAW_NO,
+    WITHDRAW_OK,
+)
+from repro.core.events import inv
+
+
+@pytest.fixture
+def ba():
+    return BankAccount()
+
+
+class TestSpec:
+    def test_initial_balance_zero(self, ba):
+        assert ba.initial_state() == 0
+
+    def test_opening_balance(self):
+        assert BankAccount(opening=7).initial_state() == 7
+
+    def test_negative_opening_rejected(self):
+        with pytest.raises(ValueError):
+            BankAccount(opening=-1)
+
+    def test_nonpositive_amounts_rejected(self):
+        with pytest.raises(ValueError):
+            BankAccount(domain=(0, 1))
+
+    def test_deposit_effect(self, ba):
+        assert ba.states_after((ba.deposit(5),)) == frozenset({5})
+
+    def test_withdraw_ok_requires_funds(self, ba):
+        assert not ba.is_legal((ba.withdraw_ok(1),))
+        assert ba.is_legal((ba.deposit(1), ba.withdraw_ok(1)))
+
+    def test_withdraw_no_requires_shortfall(self, ba):
+        assert ba.is_legal((ba.withdraw_no(1),))
+        assert not ba.is_legal((ba.deposit(2), ba.withdraw_no(1),))
+
+    def test_balance_reports_state(self, ba):
+        assert ba.responses((ba.deposit(3),), inv("balance")) == {3}
+
+    def test_balance_never_negative(self, ba):
+        # withdraw(i) with ok keeps s >= 0 by precondition
+        assert not ba.is_legal((ba.deposit(1), ba.withdraw_ok(2)))
+
+    def test_zero_amount_deposit_disabled(self, ba):
+        assert ba.responses((), inv("deposit", 0)) == frozenset()
+
+    def test_apply_deterministic(self, ba):
+        assert ba.apply(0, ba.deposit(5)) == 5
+        assert ba.apply(5, ba.withdraw_ok(3)) == 2
+
+    def test_apply_rejects_disabled(self, ba):
+        with pytest.raises(ValueError):
+            ba.apply(0, ba.withdraw_ok(3))
+
+
+class TestClassification:
+    def test_classify_all_classes(self, ba):
+        assert ba.classify(ba.deposit(1)) == DEPOSIT
+        assert ba.classify(ba.withdraw_ok(1)) == WITHDRAW_OK
+        assert ba.classify(ba.withdraw_no(1)) == WITHDRAW_NO
+        assert ba.classify(ba.balance(0)) == BALANCE
+
+    def test_classify_rejects_foreign(self, ba):
+        from repro.core.events import op
+
+        with pytest.raises(ValueError):
+            ba.classify(op("BA", "frobnicate"))
+
+    def test_invocation_alphabet_covers_domain(self, ba):
+        alphabet = ba.invocation_alphabet()
+        assert inv("balance") in alphabet
+        for i in (1, 2, 3):
+            assert inv("deposit", i) in alphabet
+            assert inv("withdraw", i) in alphabet
+
+    def test_ground_alphabet_classified_consistently(self, ba):
+        for cls in ba.operation_classes():
+            for operation in cls.instances:
+                assert ba.classify(operation) == cls.label
+
+
+class TestUndo:
+    def test_undo_deposit(self, ba):
+        assert ba.undo(5, ba.deposit(5)) == 0
+
+    def test_undo_withdraw_ok(self, ba):
+        assert ba.undo(0, ba.withdraw_ok(3)) == 3
+
+    def test_undo_withdraw_no_noop(self, ba):
+        assert ba.undo(2, ba.withdraw_no(5)) == 2
+
+    def test_undo_balance_noop(self, ba):
+        assert ba.undo(2, ba.balance(2)) == 2
+
+    def test_supports_logical_undo(self, ba):
+        assert ba.supports_logical_undo
+
+    def test_undo_inverts_apply(self, ba):
+        for operation in (ba.deposit(2), ba.withdraw_ok(1), ba.withdraw_no(9)):
+            state = 5
+            assert ba.undo(ba.apply(state, operation), operation) == state
+
+
+class TestAnalyticRelations:
+    def test_nfc_matches_figure_6_1(self, ba):
+        matrix = ba.nfc_conflict().matrix
+        assert matrix == frozenset(FIGURE_6_1_MARKS)
+
+    def test_nrbc_matches_figure_6_2(self, ba):
+        matrix = ba.nrbc_conflict().matrix
+        assert matrix == frozenset(FIGURE_6_2_MARKS)
+
+    def test_figure_6_1_is_symmetric(self):
+        marks = frozenset(FIGURE_6_1_MARKS)
+        assert all((c, r) in marks for (r, c) in marks)
+
+    def test_figure_6_2_is_not_symmetric(self):
+        marks = frozenset(FIGURE_6_2_MARKS)
+        assert any((c, r) not in marks for (r, c) in marks)
+
+    def test_figures_incomparable(self):
+        f1 = frozenset(FIGURE_6_1_MARKS)
+        f2 = frozenset(FIGURE_6_2_MARKS)
+        assert f1 - f2 and f2 - f1
+
+    def test_nfc_conflict_predicate(self, ba):
+        nfc = ba.nfc_conflict()
+        assert nfc.conflicts(ba.withdraw_ok(1), ba.withdraw_ok(2))
+        assert not nfc.conflicts(ba.deposit(1), ba.deposit(2))
+        assert nfc.conflicts(ba.deposit(1), ba.balance(0))
+
+    def test_nrbc_conflict_predicate(self, ba):
+        nrbc = ba.nrbc_conflict()
+        assert not nrbc.conflicts(ba.withdraw_ok(1), ba.withdraw_ok(2))
+        assert nrbc.conflicts(ba.withdraw_ok(1), ba.deposit(2))
+        assert not nrbc.conflicts(ba.deposit(2), ba.withdraw_ok(1))

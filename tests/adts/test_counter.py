@@ -1,0 +1,74 @@
+"""Unit tests for the counter ADT (the FC = RBC control case)."""
+
+import pytest
+
+from repro.adts import Counter
+from repro.adts.counter import COUNTER_MARKS, DECREMENT, INCREMENT, READ
+from repro.core.events import inv
+
+
+@pytest.fixture
+def ctr():
+    return Counter()
+
+
+class TestSpec:
+    def test_initial_zero(self, ctr):
+        assert ctr.initial_state() == 0
+
+    def test_increment(self, ctr):
+        assert ctr.states_after((ctr.increment(2),)) == frozenset({2})
+
+    def test_decrement_can_go_negative(self, ctr):
+        assert ctr.states_after((ctr.decrement(2),)) == frozenset({-2})
+
+    def test_read_reports_value(self, ctr):
+        assert ctr.responses((ctr.increment(1),), inv("read")) == {1}
+
+    def test_wrong_read_illegal(self, ctr):
+        assert not ctr.is_legal((ctr.read(3),))
+
+    def test_nonpositive_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Counter(domain=(0,))
+
+
+class TestClassifyAndUndo:
+    def test_classify(self, ctr):
+        assert ctr.classify(ctr.increment(1)) == INCREMENT
+        assert ctr.classify(ctr.decrement(1)) == DECREMENT
+        assert ctr.classify(ctr.read(0)) == READ
+
+    def test_undo_round_trips(self, ctr):
+        for operation in (ctr.increment(2), ctr.decrement(1), ctr.read(5)):
+            assert ctr.undo(ctr.apply(5, operation) if operation.name != "read" else 5, operation) == 5
+
+    def test_supports_logical_undo(self, ctr):
+        assert ctr.supports_logical_undo
+
+
+class TestFcEqualsRbc:
+    """The counter's punchline: both recovery methods need the same conflicts."""
+
+    def test_matrices_identical(self, ctr):
+        checker = ctr.build_checker()
+        classes = ctr.operation_classes()
+        assert checker.forward_table(classes).marks == checker.backward_table(
+            classes
+        ).marks
+
+    def test_updates_commute_both_ways(self, ctr):
+        checker = ctr.build_checker()
+        assert checker.commute_forward(ctr.increment(1), ctr.decrement(2))
+        assert checker.right_commutes_backward(ctr.increment(1), ctr.decrement(2))
+
+    def test_read_conflicts_both_ways(self, ctr):
+        nfc, nrbc = ctr.nfc_conflict(), ctr.nrbc_conflict()
+        assert nfc.conflicts(ctr.read(0), ctr.increment(1))
+        assert nrbc.conflicts(ctr.read(0), ctr.increment(1))
+        assert nfc.conflicts(ctr.increment(1), ctr.read(0))
+        assert nrbc.conflicts(ctr.increment(1), ctr.read(0))
+
+    def test_marks_constant(self):
+        assert (INCREMENT, READ) in COUNTER_MARKS
+        assert (INCREMENT, DECREMENT) not in COUNTER_MARKS

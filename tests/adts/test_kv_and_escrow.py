@@ -1,0 +1,113 @@
+"""Unit tests for the key-value store and the escrow account."""
+
+import pytest
+
+from repro.adts import EscrowAccount, KVStore
+from repro.adts.escrow import ESCROW_NFC_MARKS, ESCROW_NRBC_MARKS
+from repro.adts.kv_store import GET_HIT, GET_MISS, PUT, REMOVE
+from repro.core.events import inv
+
+
+class TestKVStoreSpec:
+    @pytest.fixture
+    def kv(self):
+        return KVStore(keys=("k1", "k2"), values=("u", "v"))
+
+    def test_initially_empty(self, kv):
+        assert kv.responses((), inv("get", "k1")) == {None}
+
+    def test_put_then_get(self, kv):
+        assert kv.responses((kv.put("k1", "u"),), inv("get", "k1")) == {"u"}
+
+    def test_put_overwrites(self, kv):
+        seq = (kv.put("k1", "u"), kv.put("k1", "v"))
+        assert kv.responses(seq, inv("get", "k1")) == {"v"}
+
+    def test_remove(self, kv):
+        seq = (kv.put("k1", "u"), kv.remove("k1"))
+        assert kv.responses(seq, inv("get", "k1")) == {None}
+
+    def test_keys_independent(self, kv):
+        seq = (kv.put("k1", "u"),)
+        assert kv.responses(seq, inv("get", "k2")) == {None}
+
+    def test_unknown_key_disabled(self, kv):
+        assert kv.responses((), inv("put", "zzz", "u")) == frozenset()
+
+    def test_classify(self, kv):
+        assert kv.classify(kv.put("k1", "u")) == PUT
+        assert kv.classify(kv.get("k1", "u")) == GET_HIT
+        assert kv.classify(kv.get_miss("k1")) == GET_MISS
+        assert kv.classify(kv.remove("k1")) == REMOVE
+
+    def test_cross_key_conflicts_refined_away(self, kv):
+        nfc = kv.nfc_conflict()
+        assert nfc.conflicts(kv.put("k1", "u"), kv.put("k1", "v"))
+        assert not nfc.conflicts(kv.put("k1", "u"), kv.put("k2", "v"))
+
+    def test_get_miss_put_asymmetry(self, kv):
+        """(put, get-miss) ∈ NRBC but (get-miss, put) ∉ NRBC (vacuous)."""
+        nrbc = kv.nrbc_conflict()
+        assert nrbc.conflicts(kv.put("k1", "u"), kv.get_miss("k1"))
+        assert not nrbc.conflicts(kv.get_miss("k1"), kv.put("k1", "u"))
+
+    def test_checker_confirms_vacuous_direction(self, kv):
+        checker = kv.build_checker()
+        assert checker.right_commutes_backward(kv.get_miss("k1"), kv.put("k1", "u"))
+
+
+class TestEscrowSpec:
+    @pytest.fixture
+    def esc(self):
+        return EscrowAccount(opening=5)
+
+    def test_opening_amount(self, esc):
+        assert esc.initial_state() == 5
+
+    def test_negative_opening_rejected(self):
+        with pytest.raises(ValueError):
+            EscrowAccount(opening=-1)
+
+    def test_credit(self, esc):
+        assert esc.states_after((esc.credit(2),)) == frozenset({7})
+
+    def test_debit_guarded(self, esc):
+        assert esc.responses((), inv("debit", 3)) == {"ok"}
+        assert esc.responses((), inv("debit", 9)) == {"no"}
+
+    def test_no_read_operation(self, esc):
+        assert all(
+            invocation.name in ("credit", "debit")
+            for invocation in esc.invocation_alphabet()
+        )
+
+    def test_undo(self, esc):
+        assert esc.undo(7, esc.credit(2)) == 5
+        assert esc.undo(3, esc.debit_ok(2)) == 5
+        assert esc.undo(5, esc.debit_no(9)) == 5
+
+    def test_matches_bank_account_sans_balance(self):
+        """The escrow matrices are the bank account's figures with the
+        balance row/column deleted (credit≙deposit, debit≙withdraw)."""
+        from repro.adts.bank_account import FIGURE_6_1_MARKS, FIGURE_6_2_MARKS
+
+        rename = {
+            "deposit(i)/ok": "credit(i)/ok",
+            "withdraw(i)/OK": "debit(i)/OK",
+            "withdraw(i)/NO": "debit(i)/NO",
+        }
+
+        def project(marks):
+            return frozenset(
+                (rename[r], rename[c])
+                for (r, c) in marks
+                if r in rename and c in rename
+            )
+
+        assert project(FIGURE_6_1_MARKS) == frozenset(ESCROW_NFC_MARKS)
+        assert project(FIGURE_6_2_MARKS) == frozenset(ESCROW_NRBC_MARKS)
+
+    def test_debits_commute_backward_but_not_forward(self, esc):
+        checker = esc.build_checker()
+        assert checker.right_commutes_backward(esc.debit_ok(1), esc.debit_ok(2))
+        assert not checker.commute_forward(esc.debit_ok(1), esc.debit_ok(2))

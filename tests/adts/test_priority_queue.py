@@ -1,0 +1,145 @@
+"""Unit tests for the priority queue and its argument-refined conflicts."""
+
+import pytest
+
+from repro.adts import PriorityQueue
+from repro.adts.priority_queue import (
+    EXTRACT_EMPTY,
+    EXTRACT_OK,
+    INSERT,
+    PQ_NFC_MARKS,
+    PQ_NRBC_MARKS,
+)
+from repro.core.events import inv
+
+
+@pytest.fixture
+def pq():
+    return PriorityQueue(domain=(1, 2, 3))
+
+
+class TestSpec:
+    def test_initially_empty(self, pq):
+        assert pq.responses((), inv("extract_min")) == {"empty"}
+
+    def test_min_extraction(self, pq):
+        seq = (pq.insert(3), pq.insert(1), pq.insert(2))
+        assert pq.responses(seq, inv("extract_min")) == {1}
+
+    def test_extraction_ordering(self, pq):
+        seq = (pq.insert(2), pq.insert(1), pq.extract_min(1))
+        assert pq.responses(seq, inv("extract_min")) == {2}
+
+    def test_wrong_extraction_illegal(self, pq):
+        assert not pq.is_legal((pq.insert(2), pq.extract_min(1)))
+
+    def test_duplicates_are_a_multiset(self, pq):
+        seq = (pq.insert(1), pq.insert(1), pq.extract_min(1))
+        assert pq.responses(seq, inv("extract_min")) == {1}
+
+    def test_insertion_order_invisible(self, pq):
+        a = pq.states_after((pq.insert(2), pq.insert(1)))
+        b = pq.states_after((pq.insert(1), pq.insert(2)))
+        assert a == b
+
+    def test_classify(self, pq):
+        assert pq.classify(pq.insert(1)) == INSERT
+        assert pq.classify(pq.extract_min(1)) == EXTRACT_OK
+        assert pq.classify(pq.extract_empty()) == EXTRACT_EMPTY
+
+
+class TestTablesCrossCheck:
+    def test_class_tables_match(self, pq):
+        checker = pq.build_checker()
+        classes = pq.operation_classes()
+        assert checker.forward_table(classes).marks == frozenset(PQ_NFC_MARKS)
+        assert checker.backward_table(classes).marks == frozenset(PQ_NRBC_MARKS)
+
+    def test_inserts_commute_both_senses(self, pq):
+        checker = pq.build_checker()
+        assert checker.commute_forward(pq.insert(1), pq.insert(2))
+        assert checker.right_commutes_backward(pq.insert(1), pq.insert(2))
+
+
+class TestArgumentRefinement:
+    """The refined relations agree with the mechanical checker per ground pair."""
+
+    @pytest.mark.parametrize(
+        "new, old, expected",
+        [
+            ("insert-1", "extract-2", True),  # x < y changes the minimum
+            ("insert-2", "extract-2", False),  # x = y: push-back is fine
+            ("insert-3", "extract-2", False),  # x > y irrelevant
+            ("extract-2", "insert-2", True),  # may extract the new element
+            ("extract-2", "insert-3", False),
+            ("extract-3", "extract-2", True),  # z ≤ y
+            ("extract-2", "extract-3", False),
+        ],
+    )
+    def test_nrbc_refinement(self, pq, new, old, expected):
+        def build(tag):
+            kind, value = tag.split("-")
+            return pq.insert(int(value)) if kind == "insert" else pq.extract_min(int(value))
+
+        new_op, old_op = build(new), build(old)
+        assert pq.nrbc_conflict().conflicts(new_op, old_op) == expected
+        checker = pq.build_checker()
+        assert (checker.rbc_violation(new_op, old_op) is not None) == expected
+
+    @pytest.mark.parametrize(
+        "x, y, expected",
+        [(1, 2, True), (2, 2, False), (3, 2, False)],
+    )
+    def test_nfc_refinement(self, pq, x, y, expected):
+        new_op, old_op = pq.insert(x), pq.extract_min(y)
+        assert pq.nfc_conflict().conflicts(new_op, old_op) == expected
+        checker = pq.build_checker()
+        assert (checker.fc_violation(new_op, old_op) is not None) == expected
+
+    def test_refinement_symmetric_for_nfc(self, pq):
+        assert pq.nfc_conflict().conflicts(pq.extract_min(2), pq.insert(1))
+        assert not pq.nfc_conflict().conflicts(pq.extract_min(2), pq.insert(3))
+
+
+class TestRuntimeHooks:
+    def test_apply(self, pq):
+        state = pq.apply(pq.apply((), pq.insert(2)), pq.insert(1))
+        assert state == (1, 2)
+        assert pq.apply(state, pq.extract_min(1)) == (2,)
+
+    def test_apply_rejects_wrong_min(self, pq):
+        with pytest.raises(ValueError):
+            pq.apply((1, 2), pq.extract_min(2))
+
+    def test_undo_round_trip(self, pq):
+        state = (1, 2)
+        for operation in (pq.insert(3), pq.extract_min(1)):
+            assert pq.undo(pq.apply(state, operation), operation) == state
+
+    def test_supports_logical_undo(self, pq):
+        assert pq.supports_logical_undo
+
+    def test_end_to_end_dynamic_atomic(self, pq):
+        import random
+
+        from repro.core.atomicity import is_dynamic_atomic
+        from repro.runtime import ManagedObject, TransactionSystem, run_scripts
+        from repro.runtime.scheduler import TransactionScript
+
+        for seed in range(4):
+            rng = random.Random(seed)
+            adt = PriorityQueue("PQ", domain=(1, 2, 3))
+            system = TransactionSystem(
+                [ManagedObject(adt, adt.nrbc_conflict(), "UIP")]
+            )
+            scripts = []
+            for i in range(5):
+                steps = []
+                for _ in range(2):
+                    if rng.random() < 0.6:
+                        steps.append(("PQ", inv("insert", rng.choice([1, 2, 3]))))
+                    else:
+                        steps.append(("PQ", inv("extract_min")))
+                scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+            run_scripts(system, scripts, seed=seed)
+            assert is_dynamic_atomic(system.history(), adt)

@@ -1,0 +1,189 @@
+"""Tests for product ADTs: composition laws and granularity behavior."""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount, Counter, Register, SetADT
+from repro.adts.product import ProductADT
+from repro.core.atomicity import is_dynamic_atomic
+from repro.core.events import Invocation, inv
+
+
+@pytest.fixture
+def record():
+    return ProductADT(
+        "REC",
+        {
+            "savings": BankAccount("savings", domain=(1, 2)),
+            "flags": SetADT("flags", domain=("a",)),
+        },
+    )
+
+
+class TestSpec:
+    def test_initial_state_tuple(self, record):
+        # Components in sorted order: flags, savings.
+        assert record.initial_state() == (frozenset(), 0)
+
+    def test_component_transition(self, record):
+        seq = (record.operation(inv("savings.deposit", 2), "ok"),)
+        assert record.states_after(seq) == frozenset({(frozenset(), 2)})
+
+    def test_components_independent(self, record):
+        seq = (
+            record.operation(inv("savings.deposit", 2), "ok"),
+            record.operation(inv("flags.insert", "a"), "ok"),
+        )
+        assert record.states_after(seq) == frozenset(
+            {(frozenset({"a"}), 2)}
+        )
+
+    def test_unknown_component_disabled(self, record):
+        assert record.responses((), inv("checking.deposit", 1)) == frozenset()
+
+    def test_unprefixed_invocation_disabled(self, record):
+        assert record.responses((), inv("deposit", 1)) == frozenset()
+
+    def test_legality_decomposes(self, record):
+        ok = (
+            record.operation(inv("savings.deposit", 1), "ok"),
+            record.operation(inv("savings.withdraw", 1), "ok"),
+            record.operation(inv("flags.member", "a"), False),
+        )
+        assert record.is_legal(ok)
+        bad = (record.operation(inv("savings.withdraw", 1), "ok"),)
+        assert not record.is_legal(bad)
+
+    def test_empty_product_rejected(self):
+        with pytest.raises(ValueError):
+            ProductADT("EMPTY", {})
+
+
+class TestClassification:
+    def test_classify_prefixed(self, record):
+        operation = record.operation(inv("savings.deposit", 1), "ok")
+        assert record.classify(operation) == "savings.deposit(i)/ok"
+
+    def test_classify_foreign_raises(self, record):
+        from repro.core.events import op
+
+        with pytest.raises(ValueError):
+            record.classify(op("REC", "zap"))
+
+    def test_classes_cover_all_components(self, record):
+        labels = {c.label for c in record.operation_classes()}
+        assert any(label.startswith("savings.") for label in labels)
+        assert any(label.startswith("flags.") for label in labels)
+
+    def test_invocation_alphabet_prefixed(self, record):
+        names = {i.name for i in record.invocation_alphabet()}
+        assert "savings.deposit" in names
+        assert "flags.member" in names
+
+
+class TestComposedConflicts:
+    def test_same_component_inherits(self, record):
+        nfc = record.nfc_conflict()
+        w1 = record.operation(inv("savings.withdraw", 1), "ok")
+        w2 = record.operation(inv("savings.withdraw", 2), "ok")
+        assert nfc.conflicts(w1, w2)
+
+    def test_cross_component_free(self, record):
+        nfc = record.nfc_conflict()
+        nrbc = record.nrbc_conflict()
+        w = record.operation(inv("savings.withdraw", 1), "ok")
+        ins = record.operation(inv("flags.insert", "a"), "ok")
+        assert not nfc.conflicts(w, ins)
+        assert not nrbc.conflicts(w, ins)
+        assert not nrbc.conflicts(ins, w)
+
+    def test_checker_confirms_cross_component_commuting(self, record):
+        checker = record.build_checker(context_depth=3, future_depth=3)
+        w = record.operation(inv("savings.withdraw", 1), "ok")
+        ins = record.operation(inv("flags.insert", "a"), "ok")
+        assert checker.commute_forward(w, ins)
+        assert checker.right_commutes_backward(w, ins)
+
+    def test_checker_confirms_same_component_conflicts(self, record):
+        checker = record.build_checker(context_depth=3, future_depth=3)
+        w1 = record.operation(inv("savings.withdraw", 1), "ok")
+        w2 = record.operation(inv("savings.withdraw", 2), "ok")
+        assert not checker.commute_forward(w1, w2)
+
+    def test_composed_tables_match_mechanical(self):
+        """Full table cross-check on a small all-finite product."""
+        product = ProductADT(
+            "P",
+            {
+                "r": Register("r", domain=("u", "v"), initial="u"),
+                "c": Counter("c", domain=(1,)),
+            },
+        )
+        checker = product.build_checker(context_depth=3, future_depth=3)
+        classes = product.operation_classes()
+        fc = checker.forward_table(classes)
+        nfc = product.nfc_conflict()
+        for row in classes:
+            for col in classes:
+                expected = fc.marked(row.label, col.label)
+                got = any(
+                    nfc.conflicts(a, b)
+                    for a in row.instances
+                    for b in col.instances
+                )
+                assert got == expected, (row.label, col.label)
+
+
+class TestRuntimeHooks:
+    def test_apply_and_undo(self, record):
+        state = record.initial_state()
+        operation = record.operation(inv("savings.deposit", 2), "ok")
+        after = record.apply(state, operation)
+        assert after == (frozenset(), 2)
+
+    def test_logical_undo_requires_all_components(self, record):
+        # SetADT does not support logical undo, so the record must not.
+        assert not record.supports_logical_undo
+        both_logical = ProductADT(
+            "P2",
+            {
+                "a": BankAccount("a", domain=(1,)),
+                "b": Counter("b", domain=(1,)),
+            },
+        )
+        assert both_logical.supports_logical_undo
+        state = both_logical.initial_state()
+        operation = both_logical.operation(inv("a.deposit", 1), "ok")
+        after = both_logical.apply(state, operation)
+        assert both_logical.undo(after, operation) == state
+
+    def test_end_to_end_dynamic_atomic(self, record):
+        from repro.runtime import ManagedObject, TransactionSystem, run_scripts
+        from repro.runtime.scheduler import TransactionScript
+
+        for seed in range(4):
+            rng = random.Random(seed)
+            adt = ProductADT(
+                "REC",
+                {
+                    "savings": BankAccount("savings", domain=(1, 2), opening=5),
+                    "flags": SetADT("flags", domain=("a",)),
+                },
+            )
+            system = TransactionSystem(
+                [ManagedObject(adt, adt.nrbc_conflict(), "UIP")]
+            )
+            scripts = []
+            for i in range(4):
+                steps = []
+                for _ in range(2):
+                    if rng.random() < 0.5:
+                        steps.append(
+                            ("REC", inv("savings.deposit", rng.choice([1, 2])))
+                        )
+                    else:
+                        steps.append(("REC", inv("flags.insert", "a")))
+                scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+            run_scripts(system, scripts, seed=seed)
+            assert is_dynamic_atomic(system.history(), adt)

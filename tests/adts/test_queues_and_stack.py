@@ -1,0 +1,140 @@
+"""Unit tests for the FIFO queue, the semiqueue and the stack."""
+
+import pytest
+
+from repro.adts import FifoQueue, SemiQueue, Stack
+from repro.core.events import inv
+
+
+class TestFifoQueueSpec:
+    @pytest.fixture
+    def q(self):
+        return FifoQueue(domain=("a", "b"))
+
+    def test_initially_empty(self, q):
+        assert q.responses((), inv("deq")) == {"empty"}
+
+    def test_fifo_order(self, q):
+        seq = (q.enq("a"), q.enq("b"))
+        assert q.responses(seq, inv("deq")) == {"a"}
+        assert q.responses(seq + (q.deq("a"),), inv("deq")) == {"b"}
+
+    def test_deq_wrong_item_illegal(self, q):
+        assert not q.is_legal((q.enq("a"), q.deq("b")))
+
+    def test_deq_empty_after_drain(self, q):
+        seq = (q.enq("a"), q.deq("a"))
+        assert q.responses(seq, inv("deq")) == {"empty"}
+
+    def test_enq_deq_head_tail_independence(self, q):
+        """The queue's concurrency source: enq commutes forward with deq-ok."""
+        checker = q.build_checker()
+        assert checker.commute_forward(q.enq("b"), q.deq("a"))
+
+    def test_enq_order_observable(self, q):
+        checker = q.build_checker()
+        assert not checker.commute_forward(q.enq("a"), q.enq("b"))
+
+    def test_deq_ok_cannot_push_before_enq(self, q):
+        checker = q.build_checker()
+        assert not checker.right_commutes_backward(q.deq("a"), q.enq("a"))
+
+    def test_deq_empty_vacuous_after_enq(self, q):
+        checker = q.build_checker()
+        assert checker.right_commutes_backward(q.deq_empty(), q.enq("a"))
+
+
+class TestSemiQueueSpec:
+    @pytest.fixture
+    def sq(self):
+        return SemiQueue(domain=("a", "b"))
+
+    def test_nondeterministic_deq(self, sq):
+        seq = (sq.enq("a"), sq.enq("b"))
+        assert sq.responses(seq, inv("deq")) == {"a", "b"}
+
+    def test_multiset_semantics(self, sq):
+        seq = (sq.enq("a"), sq.enq("a"), sq.deq("a"))
+        assert sq.responses(seq, inv("deq")) == {"a"}
+
+    def test_deq_missing_item_illegal(self, sq):
+        assert not sq.is_legal((sq.enq("a"), sq.deq("b")))
+
+    def test_enqs_commute_backward_unlike_fifo(self, sq):
+        checker = sq.build_checker()
+        assert checker.right_commutes_backward(sq.enq("a"), sq.enq("b"))
+        fifo = FifoQueue(domain=("a", "b"))
+        fifo_checker = fifo.build_checker()
+        assert not fifo_checker.right_commutes_backward(fifo.enq("a"), fifo.enq("b"))
+
+    def test_deqs_commute_backward(self, sq):
+        checker = sq.build_checker()
+        assert checker.right_commutes_backward(sq.deq("a"), sq.deq("a"))
+
+    def test_same_item_deqs_conflict_forward(self, sq):
+        checker = sq.build_checker()
+        assert not checker.commute_forward(sq.deq("a"), sq.deq("a"))
+
+    def test_apply_uses_response(self, sq):
+        state = sq.apply(sq.apply((), sq.enq("a")), sq.enq("b"))
+        assert sq.apply(state, sq.deq("b")) == ("a",)
+
+    def test_apply_rejects_disabled(self, sq):
+        with pytest.raises(ValueError):
+            sq.apply((), sq.deq("a"))
+        with pytest.raises(ValueError):
+            sq.apply(("a",), sq.deq_empty())
+
+    def test_undo_round_trip(self, sq):
+        state = ("a", "b")
+        for operation in (sq.enq("a"), sq.deq("b")):
+            after = sq.apply(state, operation)
+            assert sorted(sq.undo(after, operation)) == sorted(state)
+
+    def test_supports_logical_undo(self, sq):
+        assert sq.supports_logical_undo
+
+
+class TestStackSpec:
+    @pytest.fixture
+    def st(self):
+        return Stack(domain=("a", "b"))
+
+    def test_lifo_order(self, st):
+        seq = (st.push("a"), st.push("b"))
+        assert st.responses(seq, inv("pop")) == {"b"}
+
+    def test_pop_empty(self, st):
+        assert st.responses((), inv("pop")) == {"empty"}
+
+    def test_pop_wrong_item_illegal(self, st):
+        assert not st.is_legal((st.push("a"), st.pop("b")))
+
+    def test_pushes_conflict_everywhere(self, st):
+        checker = st.build_checker()
+        assert not checker.commute_forward(st.push("a"), st.push("b"))
+        assert not checker.right_commutes_backward(st.push("a"), st.push("b"))
+
+    def test_same_item_push_pop_commute_forward(self, st):
+        """push(x) then pop/x returns to the same state — ground-level
+        commutation that the class table conservatively hides."""
+        checker = st.build_checker()
+        assert checker.commute_forward(st.push("a"), st.pop("a"))
+
+    def test_cross_item_push_pop_conflict(self, st):
+        checker = st.build_checker()
+        assert not checker.commute_forward(st.push("b"), st.pop("a"))
+
+    def test_stack_strictly_more_conflicting_than_semiqueue(self):
+        """Same alphabet shape, very different concurrency: the stack's
+        NRBC marks strictly contain the semiqueue's."""
+        from repro.adts.semiqueue import SEMIQUEUE_NRBC_MARKS
+        from repro.adts.stack import STACK_NRBC_MARKS
+
+        semi = {
+            (r.replace("enq", "push").replace("deq", "pop"),
+             c.replace("enq", "push").replace("deq", "pop"))
+            for (r, c) in SEMIQUEUE_NRBC_MARKS
+        }
+        stack = set(STACK_NRBC_MARKS)
+        assert semi < stack

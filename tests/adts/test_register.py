@@ -1,0 +1,71 @@
+"""Unit tests for the read/write register (the classical rw model)."""
+
+import pytest
+
+from repro.adts import Register
+from repro.adts.register import READ, REGISTER_MARKS, WRITE
+from repro.analysis.finite import ExactChecker, is_finite_state
+from repro.core.events import inv
+
+
+@pytest.fixture
+def reg():
+    return Register(domain=("u", "v"), initial="u")
+
+
+class TestSpec:
+    def test_initial_value(self, reg):
+        assert reg.initial_state() == "u"
+
+    def test_initial_must_be_in_domain(self):
+        with pytest.raises(ValueError):
+            Register(domain=("a",), initial="z")
+
+    def test_write_effect(self, reg):
+        assert reg.states_after((reg.write("v"),)) == frozenset({"v"})
+
+    def test_read_reports_current(self, reg):
+        assert reg.responses((), inv("read")) == {"u"}
+        assert reg.responses((reg.write("v"),), inv("read")) == {"v"}
+
+    def test_write_outside_domain_disabled(self, reg):
+        assert reg.responses((), inv("write", "zzz")) == frozenset()
+
+    def test_last_writer_wins(self, reg):
+        seq = (reg.write("v"), reg.write("u"))
+        assert reg.states_after(seq) == frozenset({"u"})
+
+
+class TestFiniteness:
+    def test_register_is_finite_state(self, reg):
+        assert is_finite_state(reg, reg.invocation_alphabet())
+
+    def test_exact_checker_matches_marks(self, reg):
+        checker = ExactChecker(reg, reg.invocation_alphabet())
+        classes = reg.operation_classes()
+        assert checker.forward_table(classes).marks == frozenset(REGISTER_MARKS)
+        assert checker.backward_table(classes).marks == frozenset(REGISTER_MARKS)
+
+
+class TestClassicalModel:
+    """NFC = NRBC = the rw matrix: recovery choice is irrelevant here."""
+
+    def test_fc_equals_rbc(self, reg):
+        assert frozenset(REGISTER_MARKS) == frozenset(REGISTER_MARKS)
+        checker = reg.build_checker()
+        classes = reg.operation_classes()
+        assert checker.forward_table(classes).marks == checker.backward_table(
+            classes
+        ).marks
+
+    def test_reads_commute(self, reg):
+        assert not reg.nfc_conflict().conflicts(reg.read("u"), reg.read("u"))
+        assert not reg.nrbc_conflict().conflicts(reg.read("u"), reg.read("u"))
+
+    def test_writes_conflict(self, reg):
+        assert reg.nfc_conflict().conflicts(reg.write("u"), reg.write("v"))
+        assert reg.nrbc_conflict().conflicts(reg.write("u"), reg.write("v"))
+
+    def test_classify(self, reg):
+        assert reg.classify(reg.write("u")) == WRITE
+        assert reg.classify(reg.read("u")) == READ

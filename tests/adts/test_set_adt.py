@@ -1,0 +1,109 @@
+"""Unit tests for the set ADT and its asymmetric observation conflicts."""
+
+import pytest
+
+from repro.adts import SetADT
+from repro.adts.set_adt import (
+    DELETE,
+    INSERT,
+    MEMBER_FALSE,
+    MEMBER_TRUE,
+    SET_NFC_MARKS,
+    SET_NRBC_MARKS,
+)
+from repro.analysis.finite import is_finite_state
+from repro.core.events import inv
+
+
+@pytest.fixture
+def s():
+    return SetADT(domain=("a", "b"))
+
+
+class TestSpec:
+    def test_initially_empty(self, s):
+        assert s.initial_state() == frozenset()
+
+    def test_insert_idempotent(self, s):
+        once = s.states_after((s.insert("a"),))
+        twice = s.states_after((s.insert("a"), s.insert("a")))
+        assert once == twice == frozenset({frozenset({"a"})})
+
+    def test_delete_idempotent(self, s):
+        assert s.states_after((s.delete("a"),)) == frozenset({frozenset()})
+
+    def test_member_observes(self, s):
+        assert s.responses((), inv("member", "a")) == {False}
+        assert s.responses((s.insert("a"),), inv("member", "a")) == {True}
+
+    def test_member_does_not_mutate(self, s):
+        seq = (s.insert("a"), s.member_true("a"))
+        assert s.states_after(seq) == frozenset({frozenset({"a"})})
+
+    def test_elements_outside_domain_disabled(self, s):
+        assert s.responses((), inv("insert", "zzz")) == frozenset()
+
+    def test_finite_state(self, s):
+        assert is_finite_state(s, s.invocation_alphabet())
+
+
+class TestClassify:
+    def test_labels(self, s):
+        assert s.classify(s.insert("a")) == INSERT
+        assert s.classify(s.delete("a")) == DELETE
+        assert s.classify(s.member_true("a")) == MEMBER_TRUE
+        assert s.classify(s.member_false("a")) == MEMBER_FALSE
+
+
+class TestElementRefinement:
+    """Conflicts apply per element: different elements never conflict."""
+
+    def test_same_element_conflicts(self, s):
+        nfc = s.nfc_conflict()
+        assert nfc.conflicts(s.insert("a"), s.delete("a"))
+
+    def test_different_elements_free(self, s):
+        nfc = s.nfc_conflict()
+        nrbc = s.nrbc_conflict()
+        assert not nfc.conflicts(s.insert("a"), s.delete("b"))
+        assert not nrbc.conflicts(s.insert("a"), s.delete("b"))
+
+    def test_checker_confirms_cross_element_commutes(self, s):
+        checker = s.build_checker()
+        assert checker.commute_forward(s.insert("a"), s.delete("b"))
+        assert checker.right_commutes_backward(s.insert("a"), s.delete("b"))
+
+
+class TestAsymmetricObservations:
+    """The set's own incomparability witnesses."""
+
+    def test_nfc_only_pairs(self, s):
+        marks_nfc = frozenset(SET_NFC_MARKS)
+        marks_nrbc = frozenset(SET_NRBC_MARKS)
+        assert (MEMBER_FALSE, INSERT) in marks_nfc - marks_nrbc
+        assert (MEMBER_TRUE, DELETE) in marks_nfc - marks_nrbc
+
+    def test_nrbc_only_pairs(self, s):
+        marks_nfc = frozenset(SET_NFC_MARKS)
+        marks_nrbc = frozenset(SET_NRBC_MARKS)
+        assert (MEMBER_TRUE, INSERT) in marks_nrbc - marks_nfc
+        assert (MEMBER_FALSE, DELETE) in marks_nrbc - marks_nfc
+
+    def test_insert_member_true_commute_forward(self, s):
+        checker = s.build_checker()
+        assert checker.commute_forward(s.insert("a"), s.member_true("a"))
+
+    def test_member_true_cannot_push_before_insert(self, s):
+        checker = s.build_checker()
+        violation = checker.rbc_violation(s.member_true("a"), s.insert("a"))
+        assert violation is not None
+
+    def test_insert_can_push_before_member_true(self, s):
+        checker = s.build_checker()
+        assert checker.right_commutes_backward(s.insert("a"), s.member_true("a"))
+
+    def test_vacuous_member_false_after_insert(self, s):
+        """member-false right after an insert is never legal, so the RBC
+        condition holds vacuously for (member-false, insert)."""
+        checker = s.build_checker()
+        assert checker.right_commutes_backward(s.member_false("a"), s.insert("a"))

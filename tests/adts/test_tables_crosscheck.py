@@ -1,0 +1,122 @@
+"""Cross-validation: every hand-derived conflict matrix equals the checker's.
+
+Each ADT module documents an analytic NFC/NRBC matrix, derived by hand
+the way the paper derives Figures 6-1 and 6-2.  The mechanical
+macro-state checker re-derives both tables from the serial specification
+alone; this module asserts the two routes agree exactly, ADT by ADT.
+"""
+
+import pytest
+
+from repro.adts import (
+    BankAccount,
+    Counter,
+    EscrowAccount,
+    FifoQueue,
+    KVStore,
+    Register,
+    SemiQueue,
+    SetADT,
+    Stack,
+)
+from repro.adts import PriorityQueue
+from repro.adts.bank_account import FIGURE_6_1_MARKS, FIGURE_6_2_MARKS
+from repro.adts.counter import COUNTER_MARKS
+from repro.adts.priority_queue import PQ_NFC_MARKS, PQ_NRBC_MARKS
+from repro.adts.escrow import ESCROW_NFC_MARKS, ESCROW_NRBC_MARKS
+from repro.adts.fifo_queue import QUEUE_NFC_MARKS, QUEUE_NRBC_MARKS
+from repro.adts.kv_store import KV_NFC_MARKS, KV_NRBC_MARKS
+from repro.adts.register import REGISTER_MARKS
+from repro.adts.semiqueue import SEMIQUEUE_NFC_MARKS, SEMIQUEUE_NRBC_MARKS
+from repro.adts.set_adt import SET_NFC_MARKS, SET_NRBC_MARKS
+from repro.adts.stack import STACK_NFC_MARKS, STACK_NRBC_MARKS
+
+CASES = [
+    pytest.param(
+        lambda: BankAccount(),
+        FIGURE_6_1_MARKS,
+        FIGURE_6_2_MARKS,
+        id="bank-account",
+    ),
+    pytest.param(lambda: Counter(), COUNTER_MARKS, COUNTER_MARKS, id="counter"),
+    pytest.param(
+        lambda: Register(), REGISTER_MARKS, REGISTER_MARKS, id="register"
+    ),
+    pytest.param(lambda: SetADT(), SET_NFC_MARKS, SET_NRBC_MARKS, id="set"),
+    pytest.param(lambda: KVStore(), KV_NFC_MARKS, KV_NRBC_MARKS, id="kv-store"),
+    pytest.param(
+        lambda: FifoQueue(), QUEUE_NFC_MARKS, QUEUE_NRBC_MARKS, id="fifo-queue"
+    ),
+    pytest.param(
+        lambda: SemiQueue(),
+        SEMIQUEUE_NFC_MARKS,
+        SEMIQUEUE_NRBC_MARKS,
+        id="semiqueue",
+    ),
+    pytest.param(lambda: Stack(), STACK_NFC_MARKS, STACK_NRBC_MARKS, id="stack"),
+    pytest.param(
+        lambda: EscrowAccount(),
+        ESCROW_NFC_MARKS,
+        ESCROW_NRBC_MARKS,
+        id="escrow",
+    ),
+    pytest.param(
+        lambda: PriorityQueue(),
+        PQ_NFC_MARKS,
+        PQ_NRBC_MARKS,
+        id="priority-queue",
+    ),
+]
+
+
+@pytest.mark.parametrize("factory, nfc_marks, nrbc_marks", CASES)
+def test_forward_table_matches_hand_derivation(factory, nfc_marks, nrbc_marks):
+    adt = factory()
+    checker = adt.build_checker()
+    table = checker.forward_table(adt.operation_classes())
+    assert table.marks == frozenset(nfc_marks), (
+        "extra: %s missing: %s"
+        % (
+            sorted(table.marks - frozenset(nfc_marks)),
+            sorted(frozenset(nfc_marks) - table.marks),
+        )
+    )
+
+
+@pytest.mark.parametrize("factory, nfc_marks, nrbc_marks", CASES)
+def test_backward_table_matches_hand_derivation(factory, nfc_marks, nrbc_marks):
+    adt = factory()
+    checker = adt.build_checker()
+    table = checker.backward_table(adt.operation_classes())
+    assert table.marks == frozenset(nrbc_marks), (
+        "extra: %s missing: %s"
+        % (
+            sorted(table.marks - frozenset(nrbc_marks)),
+            sorted(frozenset(nrbc_marks) - table.marks),
+        )
+    )
+
+
+@pytest.mark.parametrize("factory, nfc_marks, nrbc_marks", CASES)
+def test_forward_tables_are_symmetric(factory, nfc_marks, nrbc_marks):
+    """FC is symmetric (Lemma 8), so every NFC class table must be too."""
+    marks = frozenset(nfc_marks)
+    assert all((c, r) in marks for (r, c) in marks)
+
+
+@pytest.mark.parametrize("factory, nfc_marks, nrbc_marks", CASES)
+def test_analytic_relations_agree_with_marks(factory, nfc_marks, nrbc_marks):
+    """The packaged ConflictRelation objects implement exactly the matrices
+    at class level (argument refinements may remove, never add)."""
+    adt = factory()
+    nfc = adt.nfc_conflict()
+    nrbc = adt.nrbc_conflict()
+    for cls_row in adt.operation_classes():
+        for cls_col in adt.operation_classes():
+            pair = (cls_row.label, cls_col.label)
+            row_op = cls_row.instances[0]
+            col_op = cls_col.instances[0]
+            if pair not in frozenset(nfc_marks):
+                assert not nfc.conflicts(row_op, col_op)
+            if pair not in frozenset(nrbc_marks):
+                assert not nrbc.conflicts(row_op, col_op)

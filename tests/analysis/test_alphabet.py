@@ -1,0 +1,81 @@
+"""Unit tests for macro-state and operation-alphabet enumeration."""
+
+import pytest
+
+from repro.adts import BankAccount, Register, SetADT
+from repro.analysis.alphabet import (
+    StateSpaceTooLarge,
+    reachable_macro_contexts,
+    reachable_operations,
+)
+
+
+class TestReachableMacroContexts:
+    def test_first_entry_is_initial(self):
+        ba = BankAccount(domain=(1,))
+        contexts = reachable_macro_contexts(ba, ba.invocation_alphabet(), max_depth=2)
+        assert contexts[0].context == ()
+        assert contexts[0].macro == frozenset({0})
+
+    def test_contexts_reach_their_macros(self):
+        ba = BankAccount(domain=(1, 2))
+        for mc in reachable_macro_contexts(ba, ba.invocation_alphabet(), max_depth=3):
+            assert ba.states_after(mc.context) == mc.macro
+
+    def test_shortest_representatives(self):
+        ba = BankAccount(domain=(1,))
+        contexts = reachable_macro_contexts(ba, ba.invocation_alphabet(), max_depth=4)
+        depths = [mc.depth for mc in contexts]
+        assert depths == sorted(depths)
+
+    def test_depth_bound_respected(self):
+        ba = BankAccount(domain=(1,))
+        contexts = reachable_macro_contexts(ba, ba.invocation_alphabet(), max_depth=2)
+        assert max(mc.depth for mc in contexts) <= 2
+        # balances 0, 1, 2 reachable with deposits of 1
+        macros = {mc.macro for mc in contexts}
+        assert frozenset({2}) in macros
+        assert frozenset({3}) not in macros
+
+    def test_finite_spec_closes_without_bound(self):
+        s = SetADT(domain=("a",))
+        contexts = reachable_macro_contexts(s, s.invocation_alphabet(), max_depth=None)
+        assert {mc.macro for mc in contexts} == {
+            frozenset({frozenset()}),
+            frozenset({frozenset({"a"})}),
+        }
+
+    def test_infinite_spec_hits_cap(self):
+        ba = BankAccount(domain=(1,))
+        with pytest.raises(StateSpaceTooLarge):
+            reachable_macro_contexts(
+                ba, ba.invocation_alphabet(), max_depth=None, max_states=10
+            )
+
+    def test_macro_states_unique(self):
+        reg = Register()
+        contexts = reachable_macro_contexts(reg, reg.invocation_alphabet())
+        macros = [mc.macro for mc in contexts]
+        assert len(macros) == len(set(macros))
+
+
+class TestReachableOperations:
+    def test_register_alphabet(self):
+        reg = Register(domain=("u", "v"), initial="u")
+        ops = reachable_operations(reg, reg.invocation_alphabet())
+        assert reg.write("u") in ops
+        assert reg.read("u") in ops
+        assert reg.read("v") in ops  # reachable after a write
+
+    def test_sorted_deterministic(self):
+        reg = Register()
+        a = reachable_operations(reg, reg.invocation_alphabet())
+        b = reachable_operations(reg, reg.invocation_alphabet())
+        assert a == b
+
+    def test_unreachable_responses_absent(self):
+        ba = BankAccount(domain=(1,))
+        ops = reachable_operations(ba, ba.invocation_alphabet(), max_depth=2)
+        assert ba.withdraw_ok(1) in ops
+        assert ba.balance(2) in ops
+        assert ba.balance(5) not in ops  # needs depth 5

@@ -1,0 +1,138 @@
+"""Unit tests for the macro-state commutativity engine."""
+
+import pytest
+
+from repro.adts import BankAccount, SemiQueue
+from repro.analysis.checker import CommutativityChecker
+from repro.core.conflict import incomparable
+
+
+@pytest.fixture(scope="module")
+def ba():
+    return BankAccount(domain=(1, 2))
+
+
+@pytest.fixture(scope="module")
+def checker(ba):
+    return CommutativityChecker(
+        ba, ba.invocation_alphabet(), context_depth=4, future_depth=4
+    )
+
+
+class TestPairwise:
+    def test_fc_violation_witness_is_valid(self, ba, checker):
+        violation = checker.fc_violation(ba.withdraw_ok(1), ba.withdraw_ok(2))
+        assert violation is not None
+        ctx = violation.context
+        assert ba.is_legal(ctx + (ba.withdraw_ok(1),))
+        assert ba.is_legal(ctx + (ba.withdraw_ok(2),))
+
+    def test_fc_illegal_concatenation_witness(self, ba, checker):
+        # deposit(1)·balance(0) is itself illegal: the "illegal" kind.
+        violation = checker.fc_violation(ba.deposit(1), ba.balance(0))
+        assert violation is not None
+        assert violation.kind == "illegal"
+
+    def test_fc_distinguishable_witness(self):
+        # Register writes: both orders legal but final values differ —
+        # the "distinguishable" kind with a concrete future.
+        from repro.adts import Register
+
+        reg = Register(domain=("u", "v"), initial="u")
+        checker = CommutativityChecker(
+            reg, reg.invocation_alphabet(), context_depth=3, future_depth=3
+        )
+        violation = checker.fc_violation(reg.write("u"), reg.write("v"))
+        assert violation is not None
+        assert violation.kind == "distinguishable"
+        ll = violation.looks_like_violation
+        assert reg.is_legal(tuple(ll.alpha) + tuple(ll.future))
+        assert not reg.is_legal(tuple(ll.beta) + tuple(ll.future))
+
+    def test_rbc_violation_witness_is_valid(self, ba, checker):
+        violation = checker.rbc_violation(ba.withdraw_ok(2), ba.deposit(1))
+        assert violation is not None
+        ctx = tuple(violation.context)
+        gb = ctx + (ba.deposit(1), ba.withdraw_ok(2))
+        bg = ctx + (ba.withdraw_ok(2), ba.deposit(1))
+        assert ba.is_legal(gb + violation.future)
+        assert not ba.is_legal(bg + violation.future)
+
+    def test_commute_predicates(self, ba, checker):
+        assert checker.commute_forward(ba.deposit(1), ba.deposit(2))
+        assert checker.right_commutes_backward(ba.withdraw_ok(1), ba.withdraw_ok(2))
+
+    def test_fc_symmetric_verdicts(self, ba, checker):
+        pairs = [
+            (ba.deposit(1), ba.withdraw_no(2)),
+            (ba.withdraw_ok(1), ba.balance(0)),
+            (ba.deposit(1), ba.deposit(2)),
+        ]
+        for a, b in pairs:
+            assert checker.commute_forward(a, b) == checker.commute_forward(b, a)
+
+    def test_cache_stability(self, ba, checker):
+        v1 = checker.fc_violation(ba.withdraw_ok(1), ba.withdraw_ok(2))
+        v2 = checker.fc_violation(ba.withdraw_ok(1), ba.withdraw_ok(2))
+        assert v1 is v2
+
+
+class TestRelations:
+    def test_nfc_pairs_symmetric(self, ba, checker):
+        alphabet = ba.ground_alphabet()
+        pairs = checker.nfc_pairs(alphabet)
+        assert all((b, a) in pairs for (a, b) in pairs)
+
+    def test_nrbc_pairs_asymmetric_somewhere(self, ba, checker):
+        alphabet = ba.ground_alphabet()
+        pairs = checker.nrbc_pairs(alphabet)
+        assert any((b, a) not in pairs for (a, b) in pairs)
+
+    def test_relations_incomparable_on_ground_alphabet(self, ba, checker):
+        alphabet = ba.ground_alphabet()
+        nfc = checker.nfc_relation(alphabet)
+        nrbc = checker.nrbc_relation(alphabet)
+        assert incomparable(nfc, nrbc, alphabet)
+
+    def test_derived_relation_names(self, ba, checker):
+        alphabet = ba.ground_alphabet()
+        assert "NFC" in checker.nfc_relation(alphabet).name
+        assert "NRBC" in checker.nrbc_relation(alphabet).name
+
+    def test_derived_vs_analytic_agreement(self, ba, checker):
+        """The mechanically derived ground relation agrees with the
+        analytic classifier relation on the ground alphabet."""
+        alphabet = ba.ground_alphabet()
+        derived = checker.nfc_relation(alphabet)
+        analytic = ba.nfc_conflict()
+        for a in alphabet:
+            for b in alphabet:
+                # The analytic relation is class-level, hence may be a
+                # superset on ground pairs (conservative), never a subset.
+                if derived.conflicts(a, b):
+                    assert analytic.conflicts(a, b)
+
+
+class TestNondeterministicSpec:
+    def test_semiqueue_deq_deq_backward(self):
+        sq = SemiQueue(domain=("a", "b"))
+        checker = CommutativityChecker(
+            sq, sq.invocation_alphabet(), context_depth=4, future_depth=4
+        )
+        assert checker.right_commutes_backward(sq.deq("a"), sq.deq("b"))
+        assert checker.right_commutes_backward(sq.deq("a"), sq.deq("a"))
+        assert not checker.commute_forward(sq.deq("a"), sq.deq("a"))
+
+    def test_semiqueue_enq_fc_with_deq(self):
+        sq = SemiQueue(domain=("a", "b"))
+        checker = CommutativityChecker(
+            sq, sq.invocation_alphabet(), context_depth=4, future_depth=4
+        )
+        assert checker.commute_forward(sq.enq("a"), sq.deq("a"))
+
+
+class TestContexts:
+    def test_contexts_exposed(self, checker):
+        contexts = checker.contexts
+        assert contexts[0].context == ()
+        assert len(contexts) > 1

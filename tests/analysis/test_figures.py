@@ -1,0 +1,82 @@
+"""The headline reproduction tests: Figures 6-1 and 6-2, pinned exactly."""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.experiments.figures import (
+    expected_figure_6_1,
+    expected_figure_6_2,
+    figure_6_1,
+    figure_6_2,
+)
+
+
+class TestFigure61:
+    def test_derived_matches_paper(self):
+        assert figure_6_1().same_marks(expected_figure_6_1())
+
+    def test_mark_count(self):
+        """Seven x's in Figure 6-1 (counting both symmetric halves)."""
+        assert len(expected_figure_6_1().marks) == 7
+
+    def test_symmetric(self):
+        assert expected_figure_6_1().is_symmetric()
+
+    def test_specific_entries(self):
+        t = figure_6_1()
+        assert t.marked("withdraw(i)/OK", "withdraw(i)/OK")
+        assert t.marked("deposit(i)/ok", "withdraw(i)/NO")
+        assert t.marked("deposit(i)/ok", "balance/i")
+        assert not t.marked("deposit(i)/ok", "deposit(i)/ok")
+        assert not t.marked("deposit(i)/ok", "withdraw(i)/OK")
+        assert not t.marked("withdraw(i)/OK", "withdraw(i)/NO")
+        assert not t.marked("balance/i", "balance/i")
+
+    def test_stable_across_domains(self):
+        """The class-level table is the same for any nontrivial domain."""
+        t_small = figure_6_1(BankAccount(domain=(1, 2)))
+        t_default = expected_figure_6_1()
+        assert t_small.marks == t_default.marks
+
+
+class TestFigure62:
+    def test_derived_matches_paper(self):
+        assert figure_6_2().same_marks(expected_figure_6_2())
+
+    def test_mark_count(self):
+        assert len(expected_figure_6_2().marks) == 7
+
+    def test_not_symmetric(self):
+        assert not expected_figure_6_2().is_symmetric()
+
+    def test_papers_worked_example(self):
+        """'P does not right commute backward with Q, but Q does right
+        commute backward with P' for P=withdraw/OK, Q=deposit."""
+        t = figure_6_2()
+        assert t.marked("withdraw(i)/OK", "deposit(i)/ok")
+        assert not t.marked("deposit(i)/ok", "withdraw(i)/OK")
+
+    def test_withdraw_ok_free_with_itself(self):
+        assert not figure_6_2().marked("withdraw(i)/OK", "withdraw(i)/OK")
+
+    def test_failed_withdrawals_transparent_to_balance(self):
+        t = figure_6_2()
+        assert not t.marked("withdraw(i)/NO", "balance/i")
+        assert not t.marked("balance/i", "withdraw(i)/NO")
+
+
+class TestFigureComparison:
+    def test_incomparable(self):
+        f1 = expected_figure_6_1().marks
+        f2 = expected_figure_6_2().marks
+        assert f1 - f2 == {
+            ("withdraw(i)/OK", "withdraw(i)/OK"),
+            ("withdraw(i)/NO", "deposit(i)/ok"),
+        }
+        assert f2 - f1 == {
+            ("withdraw(i)/OK", "deposit(i)/ok"),
+            ("withdraw(i)/NO", "withdraw(i)/OK"),
+        }
+
+    def test_rendered_forms_differ(self):
+        assert figure_6_1().render_ascii() != figure_6_2().render_ascii()

@@ -1,0 +1,63 @@
+"""Unit tests for the exact (finite-state) decision procedure."""
+
+import pytest
+
+from repro.adts import BankAccount, KVStore, Register, SetADT
+from repro.analysis.alphabet import StateSpaceTooLarge
+from repro.analysis.checker import CommutativityChecker
+from repro.analysis.finite import ExactChecker, is_finite_state
+
+
+class TestFiniteness:
+    def test_register_finite(self):
+        reg = Register()
+        assert is_finite_state(reg, reg.invocation_alphabet())
+
+    def test_set_finite(self):
+        s = SetADT(domain=("a", "b"))
+        assert is_finite_state(s, s.invocation_alphabet())
+
+    def test_kv_finite(self):
+        kv = KVStore(keys=("k",), values=("u",))
+        assert is_finite_state(kv, kv.invocation_alphabet())
+
+    def test_bank_account_not_finite(self):
+        ba = BankAccount(domain=(1,))
+        assert not is_finite_state(ba, ba.invocation_alphabet(), max_states=50)
+
+    def test_exact_checker_rejects_infinite(self):
+        ba = BankAccount(domain=(1,))
+        with pytest.raises(StateSpaceTooLarge):
+            ExactChecker(ba, ba.invocation_alphabet(), max_states=50)
+
+
+class TestExactVsBounded:
+    def test_exact_agrees_with_bounded_on_set(self):
+        """On a finite spec, deep-enough bounded checking equals exact."""
+        s = SetADT(domain=("a", "b"))
+        exact = ExactChecker(s, s.invocation_alphabet())
+        bounded = CommutativityChecker(
+            s, s.invocation_alphabet(), context_depth=4, future_depth=4
+        )
+        classes = s.operation_classes()
+        assert exact.forward_table(classes).marks == bounded.forward_table(
+            classes
+        ).marks
+        assert exact.backward_table(classes).marks == bounded.backward_table(
+            classes
+        ).marks
+
+    def test_exact_verdicts_are_proofs(self):
+        """Exact 'commutes' verdicts hold for arbitrarily long futures:
+        spot-check with a long manual future."""
+        reg = Register(domain=("u", "v"), initial="u")
+        exact = ExactChecker(reg, reg.invocation_alphabet())
+        assert exact.commute_forward(reg.read("u"), reg.read("u"))
+        # And violations found exactly:
+        assert exact.fc_violation(reg.write("u"), reg.write("v")) is not None
+
+    def test_exact_on_kv(self):
+        kv = KVStore(keys=("k",), values=("u", "v"))
+        exact = ExactChecker(kv, kv.invocation_alphabet())
+        assert exact.right_commutes_backward(kv.get_miss("k"), kv.put("k", "u"))
+        assert exact.rbc_violation(kv.put("k", "u"), kv.get_miss("k")) is not None

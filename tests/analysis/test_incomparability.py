@@ -1,0 +1,63 @@
+"""Incomparability of NFC and NRBC across the ADT library (Section 6.4)."""
+
+import pytest
+
+from repro.adts import (
+    BankAccount,
+    Counter,
+    EscrowAccount,
+    FifoQueue,
+    KVStore,
+    Register,
+    SemiQueue,
+    SetADT,
+    Stack,
+)
+from repro.experiments.figures import incomparability_report
+
+INCOMPARABLE = [
+    pytest.param(lambda: BankAccount(), id="bank-account"),
+    pytest.param(lambda: EscrowAccount(), id="escrow"),
+    pytest.param(lambda: SetADT(), id="set"),
+    pytest.param(lambda: KVStore(), id="kv-store"),
+    pytest.param(lambda: FifoQueue(), id="fifo-queue"),
+    pytest.param(lambda: SemiQueue(), id="semiqueue"),
+    pytest.param(lambda: Stack(), id="stack"),
+]
+
+COINCIDING = [
+    pytest.param(lambda: Counter(), id="counter"),
+    pytest.param(lambda: Register(), id="register"),
+]
+
+
+@pytest.mark.parametrize("factory", INCOMPARABLE)
+def test_nfc_nrbc_incomparable(factory):
+    report = incomparability_report(factory())
+    assert report.incomparable, report.render()
+
+
+@pytest.mark.parametrize("factory", COINCIDING)
+def test_nfc_nrbc_coincide_for_total_or_classical_types(factory):
+    """Counter (total commutative updates) and register (classical rw):
+    the recovery method places identical constraints."""
+    report = incomparability_report(factory())
+    assert not report.nfc_only and not report.nrbc_only
+
+
+def test_bank_account_witness_pairs():
+    report = incomparability_report(BankAccount())
+    assert ("withdraw(i)/OK", "withdraw(i)/OK") in report.nfc_only
+    assert ("withdraw(i)/NO", "withdraw(i)/OK") in report.nrbc_only
+
+
+def test_semiqueue_witness_pairs():
+    report = incomparability_report(SemiQueue())
+    assert ("deq/x", "deq/x") in report.nfc_only
+    assert ("deq/x", "enq(x)/ok") in report.nrbc_only
+
+
+def test_report_renders(capsys):
+    report = incomparability_report(BankAccount())
+    text = report.render()
+    assert "incomparable" in text and "True" in text

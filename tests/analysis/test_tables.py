@@ -1,0 +1,81 @@
+"""Unit tests for conflict-table objects and rendering."""
+
+import pytest
+
+from repro.analysis.tables import (
+    ConflictTable,
+    OperationClass,
+    render_ascii,
+    render_markdown,
+    table_from_pairs,
+)
+from repro.core.events import op
+
+
+def sample_table():
+    return table_from_pairs(
+        "Sample", ["a", "b"], [("a", "b"), ("b", "a"), ("a", "a")]
+    )
+
+
+class TestOperationClass:
+    def test_requires_instances(self):
+        with pytest.raises(ValueError):
+            OperationClass("empty", ())
+
+    def test_str(self):
+        cls = OperationClass("deposit", (op("X", "deposit", 1),))
+        assert str(cls) == "deposit"
+
+
+class TestConflictTable:
+    def test_marked(self):
+        t = sample_table()
+        assert t.marked("a", "b")
+        assert not t.marked("b", "b")
+
+    def test_symmetry_check(self):
+        assert sample_table().is_symmetric()
+        asym = table_from_pairs("T", ["a", "b"], [("a", "b")])
+        assert not asym.is_symmetric()
+
+    def test_difference(self):
+        t1 = sample_table()
+        t2 = table_from_pairs("T", ["a", "b"], [("a", "b")])
+        assert t1.difference(t2) == {("b", "a"), ("a", "a")}
+        assert t2.difference(t1) == frozenset()
+
+    def test_same_marks(self):
+        t1 = table_from_pairs("X", ["a", "b"], [("a", "b")])
+        t2 = table_from_pairs("Y", ["a", "b"], [("a", "b")])
+        assert t1.same_marks(t2)  # titles may differ
+
+    def test_unknown_labels_rejected(self):
+        with pytest.raises(ValueError):
+            table_from_pairs("T", ["a"], [("a", "zzz")])
+
+
+class TestRendering:
+    def test_ascii_contains_marks(self):
+        text = render_ascii(sample_table())
+        assert "Sample" in text
+        assert "x" in text
+
+    def test_ascii_row_alignment(self):
+        text = render_ascii(sample_table())
+        lines = text.splitlines()
+        # header + 2 rows at the end
+        assert lines[-1].startswith("b")
+        assert lines[-2].startswith("a")
+
+    def test_markdown_shape(self):
+        md = render_markdown(sample_table())
+        lines = md.splitlines()
+        assert lines[0].startswith("| |")
+        assert "**a**" in md
+
+    def test_str_is_ascii(self):
+        assert str(sample_table()) == sample_table().render_ascii()
+
+    def test_markdown_method(self):
+        assert sample_table().render_markdown() == render_markdown(sample_table())

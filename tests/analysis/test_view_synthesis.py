@@ -1,0 +1,116 @@
+"""Tests for the view synthesizer: Theorems 9/10 re-derived by probing.
+
+The synthesizer knows nothing about commutativity: it black-box-probes
+the object automaton with a generalized form of the proofs' history
+family and collects the pairs whose concurrency produces non-dynamic-
+atomic histories.  On bounded domains its output must coincide exactly
+with NRBC (for UIP) and NFC (for DU).
+"""
+
+import pytest
+
+from repro.adts import BankAccount, SetADT
+from repro.analysis.alphabet import reachable_macro_contexts, reachable_operations
+from repro.analysis.view_synthesis import ViewSynthesizer
+from repro.core.views import DU, SUIP, UIP
+
+
+@pytest.fixture(scope="module")
+def ba():
+    return BankAccount(domain=(1,))
+
+
+@pytest.fixture(scope="module")
+def ba_setup(ba):
+    invocations = ba.invocation_alphabet()
+    contexts = reachable_macro_contexts(ba, invocations, max_depth=3)
+    alphabet = reachable_operations(ba, invocations, max_depth=3)
+    checker = ba.build_checker(context_depth=3, future_depth=3)
+    return invocations, contexts, alphabet, checker
+
+
+class TestSynthesisRecoversTheorems:
+    def test_uip_requires_exactly_nrbc(self, ba, ba_setup):
+        invocations, contexts, alphabet, checker = ba_setup
+        syn = ViewSynthesizer(ba, UIP, invocations, contexts, rho_depth=2)
+        required = set(syn.required_pairs(alphabet).keys())
+        assert required == set(checker.nrbc_pairs(alphabet))
+
+    def test_du_requires_exactly_nfc(self, ba, ba_setup):
+        invocations, contexts, alphabet, checker = ba_setup
+        syn = ViewSynthesizer(ba, DU, invocations, contexts, rho_depth=2)
+        required = set(syn.required_pairs(alphabet).keys())
+        assert required == set(checker.nfc_pairs(alphabet))
+
+    def test_witnesses_are_genuine(self, ba, ba_setup):
+        """Each synthesized pair carries a machine-checkable counterexample."""
+        from repro.core.atomicity import is_dynamic_atomic
+
+        invocations, contexts, alphabet, _ = ba_setup
+        syn = ViewSynthesizer(ba, UIP, invocations, contexts, rho_depth=2)
+        for pair, evidence in syn.required_pairs(alphabet).items():
+            assert not is_dynamic_atomic(evidence.history, ba), str(pair)
+
+    def test_commuting_pair_not_required(self, ba, ba_setup):
+        invocations, contexts, alphabet, _ = ba_setup
+        syn = ViewSynthesizer(ba, UIP, invocations, contexts, rho_depth=2)
+        # Two successful withdrawals are UIP-safe (Figure 6-2).
+        assert syn.probe_pair(ba.withdraw_ok(1), ba.withdraw_ok(1)) is None
+
+    def test_required_relation_packaging(self, ba, ba_setup):
+        invocations, contexts, alphabet, checker = ba_setup
+        syn = ViewSynthesizer(ba, DU, invocations, contexts, rho_depth=2)
+        relation = syn.required_relation(alphabet)
+        assert relation.name.startswith("required(DU")
+        assert relation.conflicts(ba.withdraw_ok(1), ba.withdraw_ok(1))
+
+
+class TestNovelView:
+    """Section 5's open question, answered for one new view."""
+
+    def test_suip_requires_exactly_nfc(self, ba, ba_setup):
+        """The strict-UIP view (committed effects in execution order, no
+        dirty reads) requires exactly NFC on the bounded bank account:
+        hiding other actives' effects makes the ordering difference
+        between commit order and execution order unobservable for pairs
+        that are allowed to be concurrent."""
+        invocations, contexts, alphabet, checker = ba_setup
+        syn = ViewSynthesizer(ba, SUIP, invocations, contexts, rho_depth=2)
+        required = set(syn.required_pairs(alphabet).keys())
+        assert required == set(checker.nfc_pairs(alphabet))
+
+    def test_suip_does_not_need_nrbc_only_pairs(self, ba, ba_setup):
+        invocations, contexts, alphabet, checker = ba_setup
+        syn = ViewSynthesizer(ba, SUIP, invocations, contexts, rho_depth=2)
+        assert syn.probe_pair(ba.withdraw_ok(1), ba.deposit(1)) is None
+
+    def test_suip_view_semantics(self, ba):
+        from repro.experiments.examples import section_5_history
+
+        h = section_5_history()
+        assert SUIP(h, "C") == (ba.deposit(5),)  # like DU for others
+        assert SUIP(h, "B") == (ba.deposit(5), ba.withdraw_ok(3))  # own ops
+
+
+class TestOnSecondADT:
+    def test_set_du_synthesis_matches_nfc(self):
+        s = SetADT(domain=("a",))
+        invocations = s.invocation_alphabet()
+        contexts = reachable_macro_contexts(s, invocations, max_depth=None)
+        alphabet = reachable_operations(s, invocations, max_depth=None)
+        checker = s.build_checker()
+        syn = ViewSynthesizer(s, DU, invocations, contexts, rho_depth=2)
+        assert set(syn.required_pairs(alphabet).keys()) == set(
+            checker.nfc_pairs(alphabet)
+        )
+
+    def test_set_uip_synthesis_matches_nrbc(self):
+        s = SetADT(domain=("a",))
+        invocations = s.invocation_alphabet()
+        contexts = reachable_macro_contexts(s, invocations, max_depth=None)
+        alphabet = reachable_operations(s, invocations, max_depth=None)
+        checker = s.build_checker()
+        syn = ViewSynthesizer(s, UIP, invocations, contexts, rho_depth=2)
+        assert set(syn.required_pairs(alphabet).keys()) == set(
+            checker.nrbc_pairs(alphabet)
+        )

@@ -1,0 +1,74 @@
+"""Focused tests on the view synthesizer's probe completions.
+
+The probe family includes abort completions: allowing (P, Q) and then
+aborting Q's transaction exercises the *undo* interaction, which under
+update-in-place is where (withdraw/OK, deposit) bites — the withdrawal
+observed the deposit that later vanished.
+"""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.analysis.alphabet import reachable_macro_contexts, reachable_operations
+from repro.analysis.view_synthesis import ViewSynthesizer
+from repro.core.atomicity import is_dynamic_atomic
+from repro.core.views import DU, UIP
+
+
+@pytest.fixture(scope="module")
+def setup():
+    ba = BankAccount(domain=(1,))
+    invocations = ba.invocation_alphabet()
+    contexts = reachable_macro_contexts(ba, invocations, max_depth=3)
+    return ba, invocations, contexts
+
+
+class TestAbortCompletions:
+    def test_withdraw_after_deposit_abort_witness(self, setup):
+        """UIP: C's withdraw/OK leaned on B's active deposit; B aborts."""
+        ba, invocations, contexts = setup
+        syn = ViewSynthesizer(ba, UIP, invocations, contexts, rho_depth=2)
+        witness = syn.probe_pair(ba.withdraw_ok(1), ba.deposit(1))
+        assert witness is not None
+        # The evidence history must itself fail dynamic atomicity.
+        assert not is_dynamic_atomic(witness.history, ba)
+
+    def test_du_immune_to_abort_probe_for_that_pair(self, setup):
+        """DU: C never saw B's deposit, so B's abort is harmless —
+        (withdraw/OK, deposit) is not required for deferred update."""
+        ba, invocations, contexts = setup
+        syn = ViewSynthesizer(ba, DU, invocations, contexts, rho_depth=2)
+        assert syn.probe_pair(ba.withdraw_ok(1), ba.deposit(1)) is None
+
+
+class TestEvidenceQuality:
+    def test_every_du_witness_history_is_automaton_trace(self, setup):
+        """Witness histories are genuine automaton schedules: they are
+        produced by stepping the automaton, so re-checking acceptance
+        under a conflict relation missing the pair must succeed."""
+        from repro.core.conflict import WithoutPairs, TotalConflict
+        from repro.core.object_automaton import ObjectAutomaton
+
+        ba, invocations, contexts = setup
+        alphabet = reachable_operations(ba, invocations, max_depth=3)
+        syn = ViewSynthesizer(ba, DU, invocations, contexts, rho_depth=1)
+        required = syn.required_pairs(alphabet)
+        assert required
+        for pair, evidence in list(required.items())[:5]:
+            weakened = WithoutPairs(TotalConflict(), [pair])
+            # The witness never runs two probing operations concurrently
+            # beyond the (P, Q) pair, so the maximally strict relation
+            # minus that pair must accept it.
+            reason = ObjectAutomaton.explain_rejection(
+                ba, DU, weakened, evidence.history
+            )
+            assert reason is None, (str(pair), reason)
+
+    def test_str_of_evidence(self, setup):
+        # Under UIP the balance read *sees* the active deposit, so the
+        # feasible probing pair is balance(1) against deposit(1).
+        ba, invocations, contexts = setup
+        syn = ViewSynthesizer(ba, UIP, invocations, contexts, rho_depth=1)
+        witness = syn.probe_pair(ba.balance(1), ba.deposit(1))
+        assert witness is not None
+        assert "required" in str(witness)

@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adts import (
+    BankAccount,
+    Counter,
+    EscrowAccount,
+    FifoQueue,
+    KVStore,
+    Register,
+    SemiQueue,
+    SetADT,
+    Stack,
+)
+
+
+@pytest.fixture
+def ba() -> BankAccount:
+    return BankAccount()
+
+
+@pytest.fixture
+def funded_ba() -> BankAccount:
+    return BankAccount(opening=100)
+
+
+@pytest.fixture
+def counter() -> Counter:
+    return Counter()
+
+
+@pytest.fixture
+def register() -> Register:
+    return Register()
+
+
+@pytest.fixture
+def set_adt() -> SetADT:
+    return SetADT()
+
+
+@pytest.fixture
+def kv() -> KVStore:
+    return KVStore()
+
+
+@pytest.fixture
+def queue() -> FifoQueue:
+    return FifoQueue()
+
+
+@pytest.fixture
+def semiqueue() -> SemiQueue:
+    return SemiQueue()
+
+
+@pytest.fixture
+def stack() -> Stack:
+    return Stack()
+
+
+@pytest.fixture
+def escrow() -> EscrowAccount:
+    return EscrowAccount(opening=5)
+
+
+def small_adts():
+    """Factories for the finite-or-small ADTs used in parameterized tests."""
+    return [
+        ("bank", lambda: BankAccount(domain=(1, 2))),
+        ("counter", lambda: Counter(domain=(1,))),
+        ("register", lambda: Register()),
+        ("set", lambda: SetADT(domain=("a",))),
+        ("kv", lambda: KVStore(keys=("k",), values=("u", "v"))),
+        ("queue", lambda: FifoQueue(domain=("a",))),
+        ("semiqueue", lambda: SemiQueue(domain=("a",))),
+        ("stack", lambda: Stack(domain=("a",))),
+        ("escrow", lambda: EscrowAccount(domain=(1, 2), opening=1)),
+    ]

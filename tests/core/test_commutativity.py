@@ -1,0 +1,209 @@
+"""Unit tests for forward and right-backward commutativity (Sections 6.2–6.3).
+
+These exercise the *generic* (explicit-context) checkers in
+``repro.core.commutativity``; the macro-state engine has its own suite
+under tests/analysis.
+"""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.analysis.alphabet import reachable_macro_contexts
+from repro.core.commutativity import (
+    as_opseq,
+    commute_forward,
+    find_backward_violation,
+    find_forward_violation,
+    right_commutes_backward,
+)
+from repro.core.events import op
+
+
+@pytest.fixture
+def ba():
+    return BankAccount(domain=(1, 2))
+
+
+@pytest.fixture
+def alphabet(ba):
+    return ba.invocation_alphabet()
+
+
+@pytest.fixture
+def contexts(ba, alphabet):
+    return [
+        mc.context
+        for mc in reachable_macro_contexts(ba, alphabet, max_depth=3)
+    ]
+
+
+DEPTH = 3
+
+
+class TestAsOpseq:
+    def test_single_operation(self):
+        o = op("X", "a")
+        assert as_opseq(o) == (o,)
+
+    def test_sequence_passthrough(self):
+        seq = (op("X", "a"), op("X", "b"))
+        assert as_opseq(seq) == seq
+
+    def test_list_normalized(self):
+        assert as_opseq([op("X", "a")]) == (op("X", "a"),)
+
+
+class TestForwardCommutativityBA:
+    """Ground-truth checks against the paper's Figure 6-1 derivations."""
+
+    def test_deposits_commute(self, ba, alphabet, contexts):
+        assert commute_forward(
+            ba, ba.deposit(1), ba.deposit(2), contexts, alphabet, DEPTH
+        )
+
+    def test_successful_withdrawals_conflict(self, ba, alphabet, contexts):
+        violation = find_forward_violation(
+            ba, ba.withdraw_ok(1), ba.withdraw_ok(2), contexts, alphabet, DEPTH
+        )
+        assert violation is not None
+        assert violation.kind == "illegal"
+        # Verify the witness: both enabled after the context, not in sequence.
+        ctx = violation.context
+        assert ba.is_legal(ctx + (ba.withdraw_ok(1),))
+        assert ba.is_legal(ctx + (ba.withdraw_ok(2),))
+        assert not ba.is_legal(ctx + (ba.withdraw_ok(1), ba.withdraw_ok(2)))
+
+    def test_deposit_vs_failed_withdrawal_conflict(self, ba, alphabet, contexts):
+        assert not commute_forward(
+            ba, ba.deposit(2), ba.withdraw_no(1), contexts, alphabet, DEPTH
+        )
+
+    def test_deposit_vs_balance_conflict(self, ba, alphabet, contexts):
+        violation = find_forward_violation(
+            ba, ba.deposit(1), ba.balance(0), contexts, alphabet, DEPTH
+        )
+        assert violation is not None
+
+    def test_ok_and_no_withdrawals_commute(self, ba, alphabet, contexts):
+        assert commute_forward(
+            ba, ba.withdraw_ok(1), ba.withdraw_no(2), contexts, alphabet, DEPTH
+        )
+
+    def test_failed_withdrawals_commute(self, ba, alphabet, contexts):
+        assert commute_forward(
+            ba, ba.withdraw_no(1), ba.withdraw_no(2), contexts, alphabet, DEPTH
+        )
+
+    def test_balances_commute(self, ba, alphabet, contexts):
+        assert commute_forward(
+            ba, ba.balance(0), ba.balance(0), contexts, alphabet, DEPTH
+        )
+
+    def test_symmetry_on_witness_pairs(self, ba, alphabet, contexts):
+        """FC is symmetric (Lemma 8): verdicts agree in both argument orders."""
+        pairs = [
+            (ba.deposit(1), ba.withdraw_no(1)),
+            (ba.withdraw_ok(1), ba.withdraw_ok(1)),
+            (ba.deposit(1), ba.deposit(2)),
+            (ba.withdraw_ok(2), ba.balance(2)),
+        ]
+        for beta, gamma in pairs:
+            forward = commute_forward(ba, beta, gamma, contexts, alphabet, DEPTH)
+            backward = commute_forward(ba, gamma, beta, contexts, alphabet, DEPTH)
+            assert forward == backward
+
+
+class TestBackwardCommutativityBA:
+    """Ground-truth checks against the paper's Figure 6-2 derivations."""
+
+    def test_successful_withdrawals_commute_backward(self, ba, alphabet, contexts):
+        assert right_commutes_backward(
+            ba, ba.withdraw_ok(1), ba.withdraw_ok(2), contexts, alphabet, DEPTH
+        )
+
+    def test_withdraw_ok_not_backward_through_deposit(self, ba, alphabet, contexts):
+        """The paper's Section 6.3 worked example."""
+        violation = find_backward_violation(
+            ba, ba.withdraw_ok(2), ba.deposit(1), contexts, alphabet, DEPTH
+        )
+        assert violation is not None
+        # Verify: context + deposit + withdraw legal, swapped + future illegal.
+        ctx = violation.context
+        assert ba.is_legal(ctx + (ba.deposit(1), ba.withdraw_ok(2)))
+        assert not ba.is_legal(
+            ctx + (ba.withdraw_ok(2), ba.deposit(1)) + violation.future
+        )
+
+    def test_deposit_backward_through_withdraw_ok(self, ba, alphabet, contexts):
+        """...but the mirrored direction commutes (asymmetry)."""
+        assert right_commutes_backward(
+            ba, ba.deposit(1), ba.withdraw_ok(2), contexts, alphabet, DEPTH
+        )
+
+    def test_failed_withdrawal_not_backward_through_ok(self, ba, alphabet, contexts):
+        assert not right_commutes_backward(
+            ba, ba.withdraw_no(2), ba.withdraw_ok(1), contexts, alphabet, DEPTH
+        )
+
+    def test_ok_backward_through_failed(self, ba, alphabet, contexts):
+        assert right_commutes_backward(
+            ba, ba.withdraw_ok(1), ba.withdraw_no(2), contexts, alphabet, DEPTH
+        )
+
+    def test_balance_not_backward_through_deposit(self, ba, alphabet, contexts):
+        assert not right_commutes_backward(
+            ba, ba.balance(1), ba.deposit(1), contexts, alphabet, DEPTH
+        )
+
+    def test_balance_backward_through_failed_withdrawal(self, ba, alphabet, contexts):
+        assert right_commutes_backward(
+            ba, ba.balance(0), ba.withdraw_no(1), contexts, alphabet, DEPTH
+        )
+
+    def test_deposit_not_backward_through_balance(self, ba, alphabet, contexts):
+        assert not right_commutes_backward(
+            ba, ba.deposit(1), ba.balance(0), contexts, alphabet, DEPTH
+        )
+
+    def test_violation_future_is_meaningful(self, ba, alphabet, contexts):
+        violation = find_backward_violation(
+            ba, ba.withdraw_no(2), ba.withdraw_ok(1), contexts, alphabet, DEPTH
+        )
+        assert violation is not None
+        ctx = tuple(violation.context)
+        gb = ctx + (ba.withdraw_ok(1), ba.withdraw_no(2))
+        bg = ctx + (ba.withdraw_no(2), ba.withdraw_ok(1))
+        assert ba.is_legal(gb + violation.future)
+        assert not ba.is_legal(bg + violation.future)
+
+
+class TestSequencesNotJustOperations:
+    def test_sequences_commute_forward(self, ba, alphabet, contexts):
+        """The definitions act on sequences: a deposit+withdraw pair is a no-op."""
+        noop = (ba.deposit(1), ba.withdraw_ok(1))
+        assert commute_forward(ba, noop, ba.balance(0), contexts, alphabet, DEPTH)
+
+    def test_sequence_vs_operation_conflict(self, ba, alphabet, contexts):
+        two_deps = (ba.deposit(1), ba.deposit(1))
+        assert not commute_forward(
+            ba, two_deps, ba.balance(0), contexts, alphabet, DEPTH
+        )
+
+    def test_empty_sequence_commutes_with_everything(self, ba, alphabet, contexts):
+        assert commute_forward(ba, (), ba.deposit(1), contexts, alphabet, DEPTH)
+        assert right_commutes_backward(
+            ba, (), ba.deposit(1), contexts, alphabet, DEPTH
+        )
+        assert right_commutes_backward(
+            ba, ba.deposit(1), (), contexts, alphabet, DEPTH
+        )
+
+    def test_violation_str_renders(self, ba, alphabet, contexts):
+        violation = find_forward_violation(
+            ba, ba.withdraw_ok(1), ba.withdraw_ok(2), contexts, alphabet, DEPTH
+        )
+        assert "FC violation" in str(violation)
+        violation2 = find_backward_violation(
+            ba, ba.withdraw_no(2), ba.withdraw_ok(1), contexts, alphabet, DEPTH
+        )
+        assert "RBC violation" in str(violation2)

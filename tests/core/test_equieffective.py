@@ -1,0 +1,123 @@
+"""Unit tests for the looks-like / equieffective machinery (Section 6.1)."""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.equieffective import (
+    equieffective,
+    find_equieffective_violation,
+    find_looks_like_violation,
+    legal_continuations,
+    looks_like,
+)
+from repro.core.events import op
+from repro.core.serial_spec import LanguageSpec
+
+
+@pytest.fixture
+def ba():
+    return BankAccount(domain=(1, 2))
+
+
+@pytest.fixture
+def alphabet(ba):
+    return ba.invocation_alphabet()
+
+
+class TestLegalContinuations:
+    def test_includes_empty(self, ba, alphabet):
+        gammas = list(legal_continuations(ba, (), alphabet, 1))
+        assert () in gammas
+
+    def test_depth_zero_only_empty(self, ba, alphabet):
+        assert list(legal_continuations(ba, (), alphabet, 0)) == [()]
+
+    def test_continuations_are_legal(self, ba, alphabet):
+        prefix = (ba.deposit(2),)
+        for gamma in legal_continuations(ba, prefix, alphabet, 2):
+            assert ba.is_legal(prefix + gamma)
+
+    def test_shortest_first(self, ba, alphabet):
+        lengths = [len(g) for g in legal_continuations(ba, (), alphabet, 3)]
+        assert lengths == sorted(lengths)
+
+    def test_illegal_prefix_yields_nothing(self, ba, alphabet):
+        prefix = (ba.withdraw_ok(1),)  # balance 0: cannot succeed
+        assert list(legal_continuations(ba, prefix, alphabet, 2)) == []
+
+    def test_respects_withdraw_precondition(self, ba, alphabet):
+        gammas = set(legal_continuations(ba, (), alphabet, 1))
+        assert (ba.withdraw_no(1),) in gammas
+        assert (ba.withdraw_ok(1),) not in gammas
+
+    def test_generic_path_for_language_spec(self):
+        spec = LanguageSpec("X", [[op("X", "a"), op("X", "b")]])
+        alphabet = [o.invocation for o in spec.alphabet()]
+        gammas = set(legal_continuations(spec, (), alphabet, 2))
+        assert gammas == {(), (op("X", "a"),), (op("X", "a"), op("X", "b"))}
+
+
+class TestLooksLike:
+    def test_reflexive(self, ba, alphabet):
+        alpha = (ba.deposit(1),)
+        assert looks_like(ba, alpha, alpha, alphabet, 3)
+
+    def test_equal_balance_sequences_look_alike(self, ba, alphabet):
+        a = (ba.deposit(1), ba.deposit(1))
+        b = (ba.deposit(2),)
+        assert looks_like(ba, a, b, alphabet, 3)
+        assert looks_like(ba, b, a, alphabet, 3)
+
+    def test_different_balances_distinguishable(self, ba, alphabet):
+        a = (ba.deposit(1),)
+        b = (ba.deposit(2),)
+        violation = find_looks_like_violation(ba, a, b, alphabet, 2)
+        assert violation is not None
+        # The witness is a genuine distinguisher.
+        assert ba.is_legal(a + violation.future)
+        assert not ba.is_legal(b + violation.future)
+
+    def test_illegal_alpha_vacuous(self, ba, alphabet):
+        alpha = (ba.withdraw_ok(1),)  # illegal from balance 0
+        beta = (ba.deposit(1),)
+        assert looks_like(ba, alpha, beta, alphabet, 3)
+
+    def test_legal_alpha_illegal_beta_immediate_violation(self, ba, alphabet):
+        alpha = (ba.deposit(1),)
+        beta = (ba.withdraw_ok(1),)
+        violation = find_looks_like_violation(ba, alpha, beta, alphabet, 3)
+        assert violation is not None
+        assert violation.future == ()
+
+    def test_asymmetry_example(self):
+        """looks-like is not symmetric: a dead-end state looks like a live one."""
+        a, b, c = op("X", "a"), op("X", "b"), op("X", "c")
+        # Language: a, b, bc — after a there is no future; after b there is c.
+        spec = LanguageSpec("X", [[a], [b, c]])
+        alphabet = [o.invocation for o in spec.alphabet()]
+        assert looks_like(spec, (a,), (b,), alphabet, 3)
+        assert not looks_like(spec, (b,), (a,), alphabet, 3)
+
+
+class TestEquieffective:
+    def test_commuted_deposits_equieffective(self, ba, alphabet):
+        a = (ba.deposit(1), ba.deposit(2))
+        b = (ba.deposit(2), ba.deposit(1))
+        assert equieffective(ba, a, b, alphabet, 3)
+
+    def test_deposit_withdraw_cancel(self, ba, alphabet):
+        a = (ba.deposit(1), ba.withdraw_ok(1))
+        assert equieffective(ba, a, (), alphabet, 3)
+
+    def test_violation_is_directional_witness(self, ba, alphabet):
+        a = (ba.deposit(1),)
+        b = (ba.deposit(2),)
+        violation = find_equieffective_violation(ba, a, b, alphabet, 2)
+        assert violation is not None
+        assert ba.is_legal(tuple(violation.alpha) + tuple(violation.future))
+        assert not ba.is_legal(tuple(violation.beta) + tuple(violation.future))
+
+    def test_balance_reads_do_not_disturb(self, ba, alphabet):
+        a = (ba.deposit(2), ba.balance(2))
+        b = (ba.deposit(2),)
+        assert equieffective(ba, a, b, alphabet, 3)

@@ -1,0 +1,135 @@
+"""Unit tests for the event and operation vocabulary."""
+
+import pytest
+
+from repro.core.events import (
+    AbortEvent,
+    CommitEvent,
+    Invocation,
+    InvocationEvent,
+    Operation,
+    ResponseEvent,
+    abort,
+    commit,
+    inv,
+    invoke,
+    op,
+    respond,
+)
+
+
+class TestInvocation:
+    def test_inv_builder(self):
+        invocation = inv("withdraw", 3)
+        assert invocation.name == "withdraw"
+        assert invocation.args == (3,)
+
+    def test_no_args(self):
+        assert inv("balance").args == ()
+
+    def test_equality_and_hash(self):
+        assert inv("deposit", 5) == inv("deposit", 5)
+        assert hash(inv("deposit", 5)) == hash(inv("deposit", 5))
+        assert inv("deposit", 5) != inv("deposit", 6)
+        assert inv("deposit", 5) != inv("withdraw", 5)
+
+    def test_str_with_args(self):
+        assert str(inv("deposit", 5)) == "deposit(5)"
+
+    def test_str_without_args(self):
+        assert str(inv("balance")) == "balance"
+
+    def test_list_args_frozen_to_tuple(self):
+        invocation = Invocation("putmany", ([1, 2],))
+        assert invocation.args == ((1, 2),)
+        hash(invocation)
+
+    def test_dict_args_frozen(self):
+        invocation = Invocation("config", ({"a": 1},))
+        hash(invocation)
+
+    def test_set_args_frozen(self):
+        invocation = Invocation("batch", ({1, 2},))
+        assert invocation.args == (frozenset({1, 2}),)
+
+    def test_unhashable_exotic_raises(self):
+        class Weird:
+            __hash__ = None
+
+        with pytest.raises(TypeError):
+            Invocation("bad", (Weird(),))
+
+
+class TestOperation:
+    def test_builder(self):
+        o = op("BA", "withdraw", 3, response="no")
+        assert o.obj == "BA"
+        assert o.name == "withdraw"
+        assert o.args == (3,)
+        assert o.response == "no"
+
+    def test_default_response(self):
+        assert op("BA", "deposit", 5).response == "ok"
+
+    def test_str_matches_paper_notation(self):
+        assert str(op("X", "insert", 3)) == "X:[insert(3),ok]"
+
+    def test_object_name_is_significant(self):
+        assert op("X", "insert", 3) != op("Y", "insert", 3)
+
+    def test_at_relocates(self):
+        assert op("X", "insert", 3).at("Y") == op("Y", "insert", 3)
+
+    def test_at_preserves_response(self):
+        assert op("X", "w", 1, response="no").at("Y").response == "no"
+
+    def test_hashable(self):
+        assert len({op("X", "a"), op("X", "a"), op("X", "b")}) == 2
+
+    def test_ordering_defined(self):
+        ops = sorted([op("X", "b"), op("X", "a")])
+        assert ops[0].name == "a"
+
+
+class TestEvents:
+    def test_invocation_event(self):
+        e = invoke(inv("deposit", 5), "BA", "A")
+        assert e.is_invocation and not e.is_response
+        assert e.obj == "BA" and e.txn == "A"
+        assert e.invocation == inv("deposit", 5)
+
+    def test_invocation_event_requires_invocation(self):
+        with pytest.raises(ValueError):
+            InvocationEvent(obj="BA", txn="A")
+
+    def test_response_event(self):
+        e = respond("ok", "BA", "A")
+        assert e.is_response
+        assert e.response == "ok"
+
+    def test_commit_event(self):
+        e = commit("BA", "A")
+        assert e.is_commit and not e.is_abort
+
+    def test_abort_event(self):
+        e = abort("BA", "A")
+        assert e.is_abort and not e.is_commit
+
+    def test_involves(self):
+        e = commit("BA", "A")
+        assert e.involves(obj="BA")
+        assert e.involves(txn="A")
+        assert e.involves(obj="BA", txn="A")
+        assert not e.involves(obj="X")
+        assert not e.involves(txn="B")
+
+    def test_str_forms(self):
+        assert str(invoke(inv("deposit", 5), "BA", "A")) == "<deposit(5), BA, A>"
+        assert str(respond("ok", "BA", "A")) == "<ok, BA, A>"
+        assert str(commit("BA", "A")) == "<commit, BA, A>"
+        assert str(abort("BA", "A")) == "<abort, BA, A>"
+
+    def test_events_hashable_and_comparable(self):
+        assert commit("BA", "A") == commit("BA", "A")
+        assert commit("BA", "A") != abort("BA", "A")
+        assert len({commit("BA", "A"), commit("BA", "A")}) == 1

@@ -1,0 +1,152 @@
+"""Tests for the pruned/memoized checkers, cross-validated vs the reference."""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount, SemiQueue, SetADT
+from repro.core.atomicity import (
+    find_dynamic_atomicity_violation,
+    is_dynamic_atomic,
+    is_serializable,
+)
+from repro.core.events import inv
+from repro.core.fast_atomicity import (
+    fast_find_dynamic_atomicity_violation,
+    fast_find_serialization_order,
+    fast_is_atomic,
+    fast_is_dynamic_atomic,
+    fast_is_serializable,
+)
+from repro.core.history import History, serial_history
+from repro.core.object_automaton import TransactionProgram, generate_trace
+from repro.core.views import DU, UIP
+from repro.experiments.examples import (
+    section_3_3_history,
+    section_3_4_perturbed_history,
+)
+
+
+@pytest.fixture(scope="module")
+def ba():
+    return BankAccount(domain=(1, 2))
+
+
+class TestPaperExamples:
+    def test_example_history(self, ba):
+        h = section_3_3_history()
+        assert fast_is_serializable(h, ba)
+        assert fast_is_atomic(h, ba)
+        assert fast_is_dynamic_atomic(h, ba)
+
+    def test_perturbed_history(self, ba):
+        h = section_3_4_perturbed_history()
+        assert fast_is_atomic(h, ba)
+        violation = fast_find_dynamic_atomicity_violation(h, ba)
+        assert violation is not None
+        # The witnessed order genuinely fails against the reference check.
+        from repro.core.atomicity import serializable_in_order
+
+        assert not serializable_in_order(h.permanent(), violation.order, ba)
+
+    def test_serialization_order_is_legal(self, ba):
+        h = section_3_3_history()
+        order = fast_find_serialization_order(h, ba)
+        from repro.core.atomicity import serializable_in_order
+
+        assert serializable_in_order(h, order, ba)
+
+
+class TestCrossValidation:
+    """Agreement with the reference checkers on randomized traces."""
+
+    def _trace(self, adt, view, conflict, seed, n_txns=4):
+        rng = random.Random(seed)
+        invocations = adt.invocation_alphabet()
+        programs = [
+            TransactionProgram(
+                "T%d" % i, tuple(rng.choice(invocations) for _ in range(2))
+            )
+            for i in range(n_txns)
+        ]
+        return generate_trace(
+            adt, view, conflict, programs, rng, abort_probability=0.2
+        )
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_on_safe_traces(self, ba, seed):
+        h = self._trace(ba, UIP, ba.nrbc_conflict(), seed)
+        assert fast_is_dynamic_atomic(h, ba) == is_dynamic_atomic(h, ba)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_agreement_on_unsafe_traces(self, ba, seed):
+        from repro.core.conflict import EmptyConflict
+
+        h = self._trace(ba, UIP, EmptyConflict(), seed)
+        assert fast_is_dynamic_atomic(h, ba) == is_dynamic_atomic(h, ba)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_on_serializability(self, ba, seed):
+        h = self._trace(ba, DU, ba.nfc_conflict(), seed)
+        perm = h.permanent()
+        assert fast_is_serializable(perm, ba) == is_serializable(perm, ba)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_on_semiqueue(self, seed):
+        sq = SemiQueue(domain=("a", "b"))
+        h = self._trace(sq, UIP, sq.nrbc_conflict(), seed)
+        assert fast_is_dynamic_atomic(h, sq) == is_dynamic_atomic(h, sq)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_on_set(self, seed):
+        s = SetADT(domain=("a", "b"))
+        h = self._trace(s, DU, s.nfc_conflict(), seed)
+        assert fast_is_dynamic_atomic(h, s) == is_dynamic_atomic(h, s)
+
+
+class TestScaling:
+    def test_many_commuting_transactions(self, ba):
+        """12 deposits: 12! orders collapse into 13 configurations."""
+        from repro.core.events import commit, invoke, respond
+
+        events = []
+        for i in range(12):
+            txn = "T%02d" % i
+            events.append(invoke(inv("deposit", 1), "BA", txn))
+            events.append(respond("ok", "BA", txn))
+        for i in range(12):
+            events.append(commit("BA", "T%02d" % i))
+        h = History(events)
+        assert fast_is_dynamic_atomic(h, ba)  # finishes fast; naive would not
+
+    def test_multi_object(self):
+        ba = BankAccount("ACC1", opening=5)
+        ba2 = BankAccount("ACC2", opening=5)
+        from repro.core.events import commit, invoke, respond
+
+        events = []
+        for i, obj in enumerate(["ACC1", "ACC2"] * 3):
+            txn = "T%d" % i
+            events.append(invoke(inv("deposit", 1), obj, txn))
+            events.append(respond("ok", obj, txn))
+            events.append(commit(obj, txn))
+        h = History(events)
+        assert fast_is_dynamic_atomic(h, {"ACC1": ba, "ACC2": ba2})
+
+    def test_missing_spec_raises(self, ba):
+        from repro.core.events import commit, invoke, respond
+
+        h = History.of(
+            invoke(inv("x"), "OTHER", "A"),
+            respond("ok", "OTHER", "A"),
+            commit("OTHER", "A"),
+        )
+        with pytest.raises(KeyError):
+            fast_is_dynamic_atomic(h, ba)
+
+    def test_rejects_aborting_history_for_serializability(self, ba):
+        from repro.core.events import abort
+
+        h = History.of(abort("BA", "A"))
+        with pytest.raises(ValueError):
+            fast_is_serializable(h, ba)

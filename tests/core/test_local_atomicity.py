@@ -1,0 +1,97 @@
+"""Tests for local atomicity: Theorem 2 and the motivation behind it."""
+
+import random
+
+import pytest
+
+from repro.core.atomicity import (
+    is_atomic,
+    is_dynamic_atomic,
+    is_serializable,
+    serializable_in_order,
+)
+from repro.core.events import inv
+from repro.experiments.local_atomicity import (
+    incompatible_serialization_histories,
+    incompatible_specs,
+    mixed_recovery_system,
+    mixed_system_specs,
+)
+from repro.runtime import run_scripts
+from repro.runtime.scheduler import TransactionScript
+
+
+class TestIncompatibleObjects:
+    """Serializability alone is not a local atomicity property."""
+
+    def test_each_object_locally_serializable(self):
+        _, hx, hy = incompatible_serialization_histories()
+        specs = incompatible_specs()
+        assert is_serializable(hx, specs["X"])
+        assert is_serializable(hy, specs["Y"])
+
+    def test_forced_opposite_orders(self):
+        _, hx, hy = incompatible_serialization_histories()
+        specs = incompatible_specs()
+        assert serializable_in_order(hx, ["A", "B"], specs["X"])
+        assert not serializable_in_order(hx, ["B", "A"], specs["X"])
+        assert serializable_in_order(hy, ["B", "A"], specs["Y"])
+        assert not serializable_in_order(hy, ["A", "B"], specs["Y"])
+
+    def test_global_history_not_atomic(self):
+        h, _, _ = incompatible_serialization_histories()
+        assert not is_atomic(h, incompatible_specs())
+
+    def test_local_histories_not_dynamic_atomic(self):
+        """Dynamic atomicity catches the problem *locally*: each object's
+        history admits a precedes-consistent order that fails."""
+        _, hx, hy = incompatible_serialization_histories()
+        specs = incompatible_specs()
+        assert not is_dynamic_atomic(hx, specs["X"])
+        assert not is_dynamic_atomic(hy, specs["Y"])
+
+    def test_global_history_well_formed(self):
+        h, _, _ = incompatible_serialization_histories()
+        from repro.core.history import History
+
+        History(h.events)  # validates
+
+
+class TestMixedRecoverySystem:
+    """Theorem 2's modularity: different methods per object, global atomicity."""
+
+    def scripts(self, rng: random.Random):
+        scripts = []
+        for i in range(5):
+            steps = []
+            for _ in range(2):
+                which = rng.choice(["BA", "SET", "REG"])
+                if which == "BA":
+                    steps.append(("BA", inv(rng.choice(["deposit", "withdraw"]), rng.choice([1, 2]))))
+                elif which == "SET":
+                    steps.append(("SET", inv(rng.choice(["insert", "delete", "member"]), rng.choice(["a", "b"]))))
+                else:
+                    if rng.random() < 0.5:
+                        steps.append(("REG", inv("read")))
+                    else:
+                        steps.append(("REG", inv("write", rng.choice(["u", "v"]))))
+            scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+        return scripts
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mixed_system_globally_dynamic_atomic(self, seed):
+        system = mixed_recovery_system()
+        scripts = self.scripts(random.Random(seed))
+        metrics = run_scripts(system, scripts, seed=seed)
+        assert metrics.committed >= 1
+        assert is_dynamic_atomic(system.history(), mixed_system_specs())
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_per_object_projections_dynamic_atomic(self, seed):
+        """Lemma 1 in action: local projections are dynamic atomic too."""
+        system = mixed_recovery_system()
+        run_scripts(system, self.scripts(random.Random(seed)), seed=seed)
+        h = system.history()
+        specs = mixed_system_specs()
+        for obj in h.objects():
+            assert is_dynamic_atomic(h.project_objects(obj), specs[obj])

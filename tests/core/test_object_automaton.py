@@ -1,0 +1,235 @@
+"""Unit tests for the executable I(X, Spec, View, Conflict) automaton."""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount, SemiQueue
+from repro.core.conflict import EmptyConflict, TotalConflict
+from repro.core.events import commit, inv, invoke, respond
+from repro.core.history import History, IllFormedHistoryError
+from repro.core.object_automaton import (
+    ObjectAutomaton,
+    ResponseNotEnabled,
+    TransactionProgram,
+    generate_trace,
+)
+from repro.core.views import DU, UIP
+
+
+@pytest.fixture
+def ba():
+    return BankAccount(domain=(1, 2))
+
+
+def uip_nrbc(ba):
+    return ObjectAutomaton(ba, UIP, ba.nrbc_conflict())
+
+
+class TestStepping:
+    def test_invocation_always_accepted(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("deposit", 1))
+        assert a.pending_invocation("A") == inv("deposit", 1)
+
+    def test_response_requires_pending(self, ba):
+        a = uip_nrbc(ba)
+        with pytest.raises(ResponseNotEnabled) as excinfo:
+            a.step(respond("ok", "BA", "A"))
+        assert excinfo.value.reason == "no-pending"
+
+    def test_legal_response_accepted(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("deposit", 1))
+        operation = a.respond("A", "ok")
+        assert operation == ba.deposit(1)
+
+    def test_illegal_response_rejected(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("withdraw", 1))
+        with pytest.raises(ResponseNotEnabled) as excinfo:
+            a.respond("A", "ok")  # balance 0: must answer "no"
+        assert excinfo.value.reason == "not-legal"
+
+    def test_conflicting_response_rejected(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("balance"))
+        a.respond("A", 0)
+        a.invoke("B", inv("deposit", 1))
+        with pytest.raises(ResponseNotEnabled) as excinfo:
+            a.respond("B", "ok")  # (deposit, balance) ∈ NRBC
+        assert excinfo.value.reason == "conflict"
+
+    def test_commit_releases_locks(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("balance"))
+        a.respond("A", 0)
+        a.commit("A")
+        a.invoke("B", inv("deposit", 1))
+        a.respond("B", "ok")  # no conflict anymore
+
+    def test_abort_releases_locks(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("balance"))
+        a.respond("A", 0)
+        a.abort("A")
+        a.invoke("B", inv("deposit", 1))
+        a.respond("B", "ok")
+
+    def test_uip_view_sees_aborted_effects_removed(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("deposit", 2))
+        a.respond("A", "ok")
+        a.abort("A")
+        a.invoke("B", inv("balance"))
+        assert a.enabled_responses("B") == {0}
+
+    def test_wrong_object_event_rejected(self, ba):
+        a = uip_nrbc(ba)
+        with pytest.raises(ValueError):
+            a.step(commit("OTHER", "A"))
+
+
+class TestEnabledResponses:
+    def test_no_pending_no_responses(self, ba):
+        assert uip_nrbc(ba).enabled_responses("A") == frozenset()
+
+    def test_withdraw_responses_follow_view(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("deposit", 2))
+        a.respond("A", "ok")
+        a.commit("A")
+        a.invoke("B", inv("withdraw", 1))
+        assert a.enabled_responses("B") == {"ok"}
+
+    def test_blocked_responses_reported(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("balance"))
+        a.respond("A", 0)
+        a.invoke("B", inv("deposit", 1))
+        assert a.enabled_responses("B") == frozenset()
+        assert a.blocked_responses("B") == {"ok"}
+
+    def test_total_conflict_serializes(self, ba):
+        a = ObjectAutomaton(ba, UIP, TotalConflict())
+        a.invoke("A", inv("deposit", 1))
+        a.respond("A", "ok")
+        a.invoke("B", inv("deposit", 1))
+        assert a.enabled_responses("B") == frozenset()
+
+    def test_du_view_hides_other_active(self, ba):
+        a = ObjectAutomaton(ba, DU, EmptyConflict())
+        a.invoke("A", inv("deposit", 2))
+        a.respond("A", "ok")
+        a.invoke("B", inv("balance"))
+        assert a.enabled_responses("B") == {0}  # A's deposit invisible under DU
+
+    def test_uip_view_shows_other_active(self, ba):
+        a = ObjectAutomaton(ba, UIP, EmptyConflict())
+        a.invoke("A", inv("deposit", 2))
+        a.respond("A", "ok")
+        a.invoke("B", inv("balance"))
+        assert a.enabled_responses("B") == {2}
+
+    def test_nondeterministic_responses(self):
+        sq = SemiQueue(domain=("a", "b"))
+        a = ObjectAutomaton(sq, UIP, sq.nrbc_conflict())
+        for item in ("a", "b"):
+            a.invoke("A", inv("enq", item))
+            a.respond("A", "ok")
+        a.commit("A")
+        a.invoke("B", inv("deq"))
+        assert a.enabled_responses("B") == {"a", "b"}
+
+    def test_try_respond_deterministic(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("deposit", 1))
+        operation = a.try_respond("A")
+        assert operation == ba.deposit(1)
+
+    def test_try_respond_blocked_returns_none(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("balance"))
+        a.respond("A", 0)
+        a.invoke("B", inv("deposit", 1))
+        assert a.try_respond("B") is None
+
+
+class TestAcceptance:
+    def test_accepts_own_trace(self, ba):
+        a = uip_nrbc(ba)
+        a.invoke("A", inv("deposit", 1))
+        a.respond("A", "ok")
+        a.commit("A")
+        assert ObjectAutomaton.accepts(ba, UIP, ba.nrbc_conflict(), a.history)
+
+    def test_rejects_conflicting_history(self, ba):
+        h = History.of(
+            invoke(inv("balance"), "BA", "A"),
+            respond(0, "BA", "A"),
+            invoke(inv("deposit", 1), "BA", "B"),
+            respond("ok", "BA", "B"),
+        )
+        reason = ObjectAutomaton.explain_rejection(ba, UIP, ba.nrbc_conflict(), h)
+        assert reason is not None and "conflict" in reason
+
+    def test_rejects_illegal_response(self, ba):
+        h = History.of(
+            invoke(inv("withdraw", 1), "BA", "A"),
+            respond("ok", "BA", "A"),
+        )
+        reason = ObjectAutomaton.explain_rejection(ba, UIP, EmptyConflict(), h)
+        assert reason is not None and "not-legal" in reason
+
+    def test_rejects_ill_formed(self, ba):
+        h = History([commit("BA", "A"), commit("BA", "A")], validate=False)
+        reason = ObjectAutomaton.explain_rejection(ba, UIP, EmptyConflict(), h)
+        assert reason is not None and "ill-formed" in reason
+
+    def test_rejects_response_without_pending(self, ba):
+        h = History([respond("ok", "BA", "A")], validate=False)
+        reason = ObjectAutomaton.explain_rejection(ba, UIP, EmptyConflict(), h)
+        assert reason is not None and "no-pending" in reason
+
+
+class TestGenerateTrace:
+    def test_trace_is_schedule_of_automaton(self, ba):
+        rng = random.Random(0)
+        programs = [
+            TransactionProgram("T1", (inv("deposit", 1), inv("withdraw", 1))),
+            TransactionProgram("T2", (inv("deposit", 2), inv("balance"))),
+        ]
+        conflict = ba.nrbc_conflict()
+        h = generate_trace(ba, UIP, conflict, programs, rng)
+        assert ObjectAutomaton.accepts(ba, UIP, conflict, h)
+
+    def test_trace_terminates_all_transactions(self, ba):
+        rng = random.Random(1)
+        programs = [
+            TransactionProgram("T%d" % i, (inv("deposit", 1),)) for i in range(4)
+        ]
+        h = generate_trace(ba, UIP, ba.nrbc_conflict(), programs, rng)
+        finished = h.committed() | h.aborted()
+        assert finished == {"T0", "T1", "T2", "T3"}
+
+    def test_trace_with_aborts(self, ba):
+        rng = random.Random(2)
+        programs = [
+            TransactionProgram("T%d" % i, (inv("deposit", 1), inv("balance")))
+            for i in range(3)
+        ]
+        h = generate_trace(
+            ba, UIP, ba.nrbc_conflict(), programs, rng, abort_probability=0.5
+        )
+        assert len(h.aborted()) >= 1
+
+    def test_deadlocked_programs_abort_a_victim(self, ba):
+        """Under TotalConflict with interleaved starts, someone must abort."""
+        rng = random.Random(3)
+        programs = [
+            TransactionProgram("T%d" % i, (inv("deposit", 1), inv("deposit", 2)))
+            for i in range(3)
+        ]
+        h = generate_trace(ba, UIP, TotalConflict(), programs, rng)
+        finished = h.committed() | h.aborted()
+        assert finished == {"T0", "T1", "T2"}

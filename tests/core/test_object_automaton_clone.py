@@ -1,0 +1,62 @@
+"""Tests for ObjectAutomaton.clone (the exploration-branching primitive)."""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.events import inv
+from repro.core.object_automaton import ObjectAutomaton
+from repro.core.views import UIP
+
+
+@pytest.fixture
+def automaton():
+    ba = BankAccount(domain=(1, 2))
+    a = ObjectAutomaton(ba, UIP, ba.nrbc_conflict())
+    a.invoke("A", inv("deposit", 2))
+    a.respond("A", "ok")
+    return ba, a
+
+
+class TestClone:
+    def test_clone_preserves_history(self, automaton):
+        _ba, a = automaton
+        twin = a.clone()
+        assert twin.history == a.history
+
+    def test_clone_preserves_locks(self, automaton):
+        ba, a = automaton
+        twin = a.clone()
+        assert twin.operations_of("A") == a.operations_of("A")
+        # The clone enforces the same conflicts.
+        twin.invoke("B", inv("withdraw", 1))
+        assert twin.enabled_responses("B") == frozenset()  # (w-ok, dep) blocked
+
+    def test_clone_is_independent(self, automaton):
+        _ba, a = automaton
+        twin = a.clone()
+        twin.commit("A")
+        assert "A" in a.active_transactions()
+        assert "A" not in twin.active_transactions()
+        assert len(twin.history) == len(a.history) + 1
+
+    def test_clone_preserves_pending(self, automaton):
+        _ba, a = automaton
+        a.invoke("B", inv("deposit", 1))  # deposits don't conflict
+        twin = a.clone()
+        assert twin.pending_invocation("B") == inv("deposit", 1)
+        twin.respond("B", "ok")
+        assert a.pending_invocation("B") == inv("deposit", 1)  # original untouched
+
+    def test_deep_branching(self, automaton):
+        ba, a = automaton
+        a.commit("A")
+        branches = []
+        for amount in (1, 2):
+            twin = a.clone()
+            twin.invoke("B", inv("withdraw", amount))
+            twin.respond("B", "ok")
+            branches.append(twin)
+        states = [
+            ba.states_after(t.history.opseq()) for t in branches
+        ]
+        assert states == [frozenset({1}), frozenset({0})]

@@ -1,0 +1,122 @@
+"""Machine-checks of every worked example in the paper (Sections 3–5)."""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.atomicity import (
+    find_serialization_order,
+    is_atomic,
+    is_dynamic_atomic,
+    serializable_in_order,
+)
+from repro.core.views import DU, UIP
+from repro.experiments.examples import (
+    section_3_2_sequences,
+    section_3_3_history,
+    section_3_4_perturbed_history,
+    section_5_history,
+)
+
+
+@pytest.fixture(scope="module")
+def ba():
+    return BankAccount()
+
+
+class TestSection32:
+    """Spec(BA) includes the first worked sequence but not the second."""
+
+    def test_legal_sequence_in_spec(self, ba):
+        legal, _illegal = section_3_2_sequences(ba)
+        assert ba.is_legal(legal)
+
+    def test_illegal_sequence_not_in_spec(self, ba):
+        _legal, illegal = section_3_2_sequences(ba)
+        assert not ba.is_legal(illegal)
+
+    def test_prefixes_of_legal_sequence(self, ba):
+        legal, _ = section_3_2_sequences(ba)
+        for i in range(len(legal) + 1):
+            assert ba.is_legal(legal[:i])
+
+    def test_withdraw_ok_iff_funds(self, ba):
+        """'withdraw returns ok iff the balance is not less than the argument'."""
+        assert ba.responses((ba.deposit(5),), ba.withdraw_ok(3).invocation) == {"ok"}
+        assert ba.responses((ba.deposit(2),), ba.withdraw_ok(3).invocation) == {"no"}
+
+
+class TestSection33:
+    """The example history is atomic, serializable in the order A-B-C."""
+
+    def test_well_formed(self):
+        section_3_3_history()
+
+    def test_contains_only_committed(self, ba):
+        h = section_3_3_history()
+        assert h.active() == frozenset()
+        assert h.committed() == {"A", "B", "C"}
+
+    def test_serializable_in_a_b_c(self, ba):
+        h = section_3_3_history()
+        assert serializable_in_order(h, ["A", "B", "C"], ba)
+
+    def test_atomic(self, ba):
+        assert is_atomic(section_3_3_history(), ba)
+
+    def test_a_b_c_is_the_unique_order(self, ba):
+        h = section_3_3_history()
+        assert find_serialization_order(h, ba) == ("A", "B", "C")
+
+
+class TestSection34:
+    """Dynamic atomicity of the example and its perturbation."""
+
+    def test_example_dynamic_atomic(self, ba):
+        assert is_dynamic_atomic(section_3_3_history(), ba)
+
+    def test_precedes_chain(self):
+        h = section_3_3_history()
+        precedes = h.precedes()
+        assert ("A", "B") in precedes
+        assert ("B", "C") in precedes
+
+    def test_perturbed_not_dynamic_atomic(self, ba):
+        """With B's response before A's commit, (A, B) leaves precedes and
+        the unserializable order B-A-C becomes admissible."""
+        h = section_3_4_perturbed_history()
+        assert ("A", "B") not in h.precedes()
+        assert not is_dynamic_atomic(h, ba)
+
+    def test_perturbed_still_atomic(self, ba):
+        assert is_atomic(section_3_4_perturbed_history(), ba)
+
+    def test_perturbed_fails_exactly_on_b_first_orders(self, ba):
+        h = section_3_4_perturbed_history()
+        assert not serializable_in_order(h, ["B", "A", "C"], ba)
+        assert serializable_in_order(h, ["A", "B", "C"], ba)
+
+
+class TestSection5Views:
+    """UIP(H,B) = DU(H,B) = deposit·withdraw; DU(H,C) = deposit only."""
+
+    def test_uip_b(self, ba):
+        h = section_5_history()
+        assert UIP(h, "B") == (ba.deposit(5), ba.withdraw_ok(3))
+
+    def test_uip_same_for_any_other(self, ba):
+        h = section_5_history()
+        assert UIP(h, "C") == UIP(h, "B")
+
+    def test_du_b_sees_own_ops(self, ba):
+        h = section_5_history()
+        assert DU(h, "B") == (ba.deposit(5), ba.withdraw_ok(3))
+
+    def test_du_c_sees_committed_only(self, ba):
+        h = section_5_history()
+        assert DU(h, "C") == (ba.deposit(5),)
+
+    def test_views_correspond_to_balances(self, ba):
+        """UIP view: balance 2 for anyone; DU view for C: balance 5."""
+        h = section_5_history()
+        assert ba.states_after(UIP(h, "C")) == frozenset({2})
+        assert ba.states_after(DU(h, "C")) == frozenset({5})

@@ -1,0 +1,113 @@
+"""Unit tests for JSON serialization of events and histories."""
+
+import json
+
+import pytest
+
+from repro.core import serde
+from repro.core.events import abort, commit, inv, invoke, op, respond
+from repro.core.history import History
+from repro.experiments.examples import section_3_3_history
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value", [None, True, False, 0, -3, 2.5, "ok", (1, 2), ((1,), "a")]
+    )
+    def test_round_trip(self, value):
+        assert serde.decode_value(serde.encode_value(value)) == value
+
+    def test_frozenset(self):
+        value = frozenset({1, 2})
+        assert serde.decode_value(serde.encode_value(value)) == value
+
+    def test_lists_become_tuples(self):
+        assert serde.decode_value([1, 2]) == (1, 2)
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(serde.SerdeError):
+            serde.encode_value(object())
+
+    def test_unknown_object_rejected(self):
+        with pytest.raises(serde.SerdeError):
+            serde.decode_value({"weird": 1})
+
+
+class TestEventCodec:
+    @pytest.mark.parametrize(
+        "event",
+        [
+            invoke(inv("deposit", 5), "BA", "A"),
+            respond("ok", "BA", "A"),
+            respond(7, "BA", "A"),
+            commit("BA", "A"),
+            abort("X", "B"),
+        ],
+    )
+    def test_round_trip(self, event):
+        assert serde.decode_event(serde.encode_event(event)) == event
+
+    def test_missing_kind(self):
+        with pytest.raises(serde.SerdeError):
+            serde.decode_event({"obj": "X", "txn": "A"})
+
+    def test_unknown_kind(self):
+        with pytest.raises(serde.SerdeError):
+            serde.decode_event({"kind": "zap", "obj": "X", "txn": "A"})
+
+    def test_response_requires_payload(self):
+        with pytest.raises(serde.SerdeError):
+            serde.decode_event({"kind": "respond", "obj": "X", "txn": "A"})
+
+
+class TestOperationCodec:
+    def test_round_trip(self):
+        operation = op("BA", "withdraw", 3, response="no")
+        assert serde.decode_operation(serde.encode_operation(operation)) == operation
+
+    def test_missing_fields(self):
+        with pytest.raises(serde.SerdeError):
+            serde.decode_operation({"name": "a", "args": []})
+
+
+class TestHistoryCodec:
+    def test_round_trip(self):
+        h = section_3_3_history()
+        assert serde.loads(serde.dumps(h)) == h
+
+    def test_file_round_trip(self, tmp_path):
+        h = section_3_3_history()
+        path = str(tmp_path / "history.json")
+        serde.dump(h, path)
+        assert serde.load(path) == h
+
+    def test_validation_on_load(self):
+        text = json.dumps(
+            {"events": [{"kind": "respond", "obj": "X", "txn": "A", "response": 1}]}
+        )
+        from repro.core.history import IllFormedHistoryError
+
+        with pytest.raises(IllFormedHistoryError):
+            serde.loads(text)
+
+    def test_validation_can_be_skipped(self):
+        text = json.dumps(
+            {"events": [{"kind": "respond", "obj": "X", "txn": "A", "response": 1}]}
+        )
+        h = serde.loads(text, validate=False)
+        assert len(h) == 1
+
+    def test_invalid_json(self):
+        with pytest.raises(serde.SerdeError):
+            serde.loads("{nope")
+
+    def test_missing_events_key(self):
+        with pytest.raises(serde.SerdeError):
+            serde.loads("{}")
+
+    def test_empty_history(self):
+        assert serde.loads(serde.dumps(History())) == History()
+
+    def test_opseq_preserved(self):
+        h = section_3_3_history()
+        assert serde.loads(serde.dumps(h)).opseq() == h.opseq()

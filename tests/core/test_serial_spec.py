@@ -1,0 +1,149 @@
+"""Unit tests for serial specifications (language and state-machine forms)."""
+
+import pytest
+
+from repro.core.automaton_spec import FunctionalSpec
+from repro.core.events import inv, op
+from repro.core.serial_spec import LanguageSpec, is_prefix_closed
+
+
+def ab_language():
+    """The language {ε, a, ab} on object X (a, b unary ok-operations)."""
+    return LanguageSpec("X", [[op("X", "a"), op("X", "b")]])
+
+
+class TestLanguageSpec:
+    def test_prefixes_added(self):
+        spec = ab_language()
+        assert spec.is_legal(())
+        assert spec.is_legal((op("X", "a"),))
+        assert spec.is_legal((op("X", "a"), op("X", "b")))
+
+    def test_non_member(self):
+        spec = ab_language()
+        assert not spec.is_legal((op("X", "b"),))
+        assert not spec.is_legal((op("X", "a"), op("X", "a")))
+
+    def test_language_property_is_prefix_closed(self):
+        assert is_prefix_closed(ab_language().language)
+
+    def test_responses(self):
+        spec = ab_language()
+        assert spec.responses((), inv("a")) == {"ok"}
+        assert spec.responses((op("X", "a"),), inv("b")) == {"ok"}
+        assert spec.responses((op("X", "a"),), inv("a")) == frozenset()
+
+    def test_operations_relocated_to_spec_object(self):
+        spec = LanguageSpec("X", [[op("Y", "a")]])
+        assert spec.is_legal((op("X", "a"),))
+        assert spec.is_legal((op("Y", "a"),))  # relocated on the way in
+
+    def test_alphabet(self):
+        assert ab_language().alphabet() == {op("X", "a"), op("X", "b")}
+
+    def test_renamed(self):
+        spec = ab_language().renamed("Z")
+        assert spec.name == "Z"
+        assert spec.is_legal((op("Z", "a"),))
+
+    def test_extend_legal(self):
+        spec = ab_language()
+        assert spec.extend_legal((op("X", "a"),), op("X", "b"))
+        assert not spec.extend_legal((op("X", "a"),), op("X", "a"))
+
+    def test_operation_builder(self):
+        assert ab_language().operation(inv("a"), "ok") == op("X", "a")
+
+    def test_check_object_names(self):
+        spec = ab_language()
+        spec.check_object_names((op("X", "a"),))
+        with pytest.raises(ValueError):
+            spec.check_object_names((op("Y", "a"),))
+
+
+def toggle_transitions(state, invocation):
+    """A one-bit toggle machine: flip/ok and read/<bit>."""
+    if invocation.name == "flip":
+        yield "ok", not state
+    elif invocation.name == "read":
+        yield state, state
+
+
+class TestFunctionalSpec:
+    def test_initial_legality(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        assert spec.is_legal(())
+
+    def test_simulation(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        seq = (
+            op("T", "flip"),
+            op("T", "read", response=True),
+            op("T", "flip"),
+            op("T", "read", response=False),
+        )
+        assert spec.is_legal(seq)
+
+    def test_wrong_response_illegal(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        assert not spec.is_legal((op("T", "read", response=True),))
+
+    def test_responses_from_state(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        assert spec.responses((), inv("read")) == {False}
+        assert spec.responses((op("T", "flip"),), inv("read")) == {True}
+
+    def test_states_after_illegal_is_empty(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        assert spec.states_after((op("T", "read", response=True),)) == frozenset()
+
+    def test_multiple_initial_states_union_semantics(self):
+        spec = FunctionalSpec(
+            "T", transitions=toggle_transitions, initials=(False, True)
+        )
+        # Either read result is legal from the nondeterministic start.
+        assert spec.is_legal((op("T", "read", response=True),))
+        assert spec.is_legal((op("T", "read", response=False),))
+        # But a read pins the state afterward.
+        assert not spec.is_legal(
+            (op("T", "read", response=True), op("T", "read", response=False))
+        )
+
+    def test_no_initial_states_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionalSpec("T", transitions=toggle_transitions, initials=())
+
+    def test_renamed(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        renamed = spec.renamed("U")
+        assert renamed.name == "U"
+        assert renamed.is_legal((op("U", "flip"),))
+
+    def test_step_macro(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        macro = spec.initial_macro_state()
+        macro = spec.step_macro(macro, op("T", "flip"))
+        assert macro == frozenset({True})
+
+    def test_run_macro_dies_on_illegal(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        macro = spec.run_macro(
+            spec.initial_macro_state(),
+            (op("T", "read", response=True), op("T", "flip")),
+        )
+        assert macro == frozenset()
+
+    def test_enabled_operations(self):
+        spec = FunctionalSpec("T", transitions=toggle_transitions, initial=False)
+        ops = spec.enabled_operations(
+            spec.initial_macro_state(), [inv("flip"), inv("read")]
+        )
+        assert ops == {op("T", "flip"), op("T", "read", response=False)}
+
+
+class TestPrefixClosureHelper:
+    def test_prefix_closed(self):
+        assert is_prefix_closed({(), (op("X", "a"),)})
+
+    def test_not_prefix_closed(self):
+        assert not is_prefix_closed({(op("X", "a"), op("X", "b"))})

@@ -1,0 +1,112 @@
+"""Unit tests for the UIP and DU recovery views (Section 5)."""
+
+import pytest
+
+from repro.core.events import abort, commit, inv, invoke, op, respond
+from repro.core.history import History
+from repro.core.views import DU, UIP
+from repro.experiments.examples import section_5_history
+
+
+def history_with_abort():
+    """A commits deposit(5); B withdraws 3 then aborts; C deposits 1 (active)."""
+    return History.of(
+        invoke(inv("deposit", 5), "BA", "A"),
+        respond("ok", "BA", "A"),
+        commit("BA", "A"),
+        invoke(inv("withdraw", 3), "BA", "B"),
+        respond("ok", "BA", "B"),
+        abort("BA", "B"),
+        invoke(inv("deposit", 1), "BA", "C"),
+        respond("ok", "BA", "C"),
+    )
+
+
+class TestUIP:
+    def test_paper_example(self):
+        h = section_5_history()
+        expected = (op("BA", "deposit", 5), op("BA", "withdraw", 3))
+        assert UIP(h, "B") == expected
+
+    def test_same_view_for_every_transaction(self):
+        h = section_5_history()
+        assert UIP(h, "B") == UIP(h, "C")
+
+    def test_excludes_aborted(self):
+        h = history_with_abort()
+        assert UIP(h, "C") == (op("BA", "deposit", 5), op("BA", "deposit", 1))
+
+    def test_execution_order_preserved(self):
+        h = History.of(
+            invoke(inv("a"), "X", "A"),
+            invoke(inv("b"), "X", "B"),
+            respond("ok", "X", "B"),
+            respond("ok", "X", "A"),
+            commit("X", "B"),
+        )
+        assert [o.name for o in UIP(h, "A")] == ["b", "a"]
+
+    def test_rejects_finished_transaction(self):
+        h = section_5_history()
+        h = h.append(commit("BA", "B"))
+        with pytest.raises(ValueError):
+            UIP(h, "B")
+
+    def test_empty_history(self):
+        assert UIP(History(), "A") == ()
+
+
+class TestDU:
+    def test_paper_example_own_ops_visible(self):
+        h = section_5_history()
+        assert DU(h, "B") == (op("BA", "deposit", 5), op("BA", "withdraw", 3))
+
+    def test_paper_example_other_active_invisible(self):
+        h = section_5_history()
+        assert DU(h, "C") == (op("BA", "deposit", 5),)
+
+    def test_excludes_aborted_automatically(self):
+        h = history_with_abort()
+        assert DU(h, "C") == (op("BA", "deposit", 5), op("BA", "deposit", 1))
+
+    def test_commit_order_not_execution_order(self):
+        """DU replays committed transactions in commit order."""
+        h = History.of(
+            invoke(inv("a"), "X", "A"),
+            respond("ok", "X", "A"),
+            invoke(inv("b"), "X", "B"),
+            respond("ok", "X", "B"),
+            commit("X", "B"),  # B commits first although A executed first
+            commit("X", "A"),
+        )
+        assert [o.name for o in DU(h, "C")] == ["b", "a"]
+
+    def test_uip_uses_execution_order_same_history(self):
+        h = History.of(
+            invoke(inv("a"), "X", "A"),
+            respond("ok", "X", "A"),
+            invoke(inv("b"), "X", "B"),
+            respond("ok", "X", "B"),
+            commit("X", "B"),
+            commit("X", "A"),
+        )
+        assert [o.name for o in UIP(h, "C")] == ["a", "b"]
+
+    def test_rejects_finished_transaction(self):
+        h = History.of(commit("X", "A"))
+        with pytest.raises(ValueError):
+            DU(h, "A")
+
+    def test_view_names(self):
+        assert UIP.name == "UIP"
+        assert DU.name == "DU"
+
+
+class TestViewDivergence:
+    def test_views_agree_when_no_active_others_and_commit_order_matches(self):
+        h = section_5_history()
+        assert UIP(h, "B") == DU(h, "B")
+
+    def test_views_diverge_on_active_others(self):
+        h = section_5_history()
+        assert UIP(h, "C") != DU(h, "C")

@@ -1,0 +1,110 @@
+"""Tests for the experiment harness (small-scale smoke + shape checks)."""
+
+import pytest
+
+from repro.adts import BankAccount, SemiQueue
+from repro.experiments import (
+    compare,
+    exp_c3_symmetry,
+    figure_6_1,
+    figure_6_2,
+    incomparability_report,
+    render_experiment,
+    standard_configurations,
+)
+from repro.runtime import format_summary_table, hotspot_banking
+
+
+class TestConfigurations:
+    def test_standard_set(self):
+        configs = standard_configurations()
+        labels = [c.label for c in configs]
+        assert labels == ["UIP+NRBC", "DU+NFC", "UIP+2PL-rw", "UIP+sym(NRBC)"]
+
+    def test_without_symmetric(self):
+        assert len(standard_configurations(extra_symmetric=False)) == 3
+
+
+class TestCompare:
+    def test_compare_returns_summaries(self):
+        summaries = compare(
+            lambda: BankAccount("BA", opening=50),
+            lambda rng: hotspot_banking(rng, transactions=4, ops_per_txn=2),
+            seeds=(0, 1),
+        )
+        assert len(summaries) == 4
+        assert all(s.runs == 2 for s in summaries)
+
+    def test_withdraw_heavy_favors_uip_nrbc(self):
+        """EXP-C1's headline cell at small scale: on a funded account
+        with only withdrawals, UIP+NRBC beats DU+NFC and 2PL."""
+        summaries = compare(
+            lambda: BankAccount("BA", opening=100),
+            lambda rng: hotspot_banking(
+                rng,
+                transactions=6,
+                ops_per_txn=3,
+                deposit_weight=0.0,
+                withdraw_weight=1.0,
+                balance_weight=0.0,
+            ),
+            seeds=tuple(range(6)),
+        )
+        by_label = {s.label: s for s in summaries}
+        assert (
+            by_label["UIP+NRBC"].mean_throughput
+            > by_label["DU+NFC"].mean_throughput
+        )
+        assert (
+            by_label["UIP+NRBC"].mean_throughput
+            > by_label["UIP+2PL-rw"].mean_throughput
+        )
+
+    def test_semiqueue_favors_uip_nrbc(self):
+        from repro.runtime import producer_consumer
+
+        summaries = compare(
+            lambda: SemiQueue("Q"),
+            lambda rng: producer_consumer(
+                rng, obj="Q", producers=3, consumers=3, ops_per_txn=2
+            ),
+            seeds=tuple(range(4)),
+        )
+        by_label = {s.label: s for s in summaries}
+        assert (
+            by_label["UIP+NRBC"].mean_throughput
+            >= by_label["UIP+2PL-rw"].mean_throughput
+        )
+
+    def test_render_experiment(self):
+        summaries = compare(
+            lambda: BankAccount("BA", opening=10),
+            lambda rng: hotspot_banking(rng, transactions=3, ops_per_txn=2),
+            seeds=(0,),
+        )
+        text = render_experiment({"case": summaries})
+        assert "== case ==" in text
+        assert "UIP+NRBC" in text
+
+
+class TestSymmetryAblation:
+    def test_asymmetric_at_least_as_good(self):
+        summaries = exp_c3_symmetry(transactions=6, ops_per_txn=2, seeds=(0, 1, 2, 3))
+        by_label = {s.label: s for s in summaries}
+        assert (
+            by_label["UIP+NRBC"].mean_throughput
+            >= by_label["UIP+sym(NRBC)"].mean_throughput
+        )
+
+
+class TestFigureHarness:
+    def test_figures_match(self):
+        from repro.experiments import expected_figure_6_1, expected_figure_6_2
+
+        assert figure_6_1().same_marks(expected_figure_6_1())
+        assert figure_6_2().same_marks(expected_figure_6_2())
+
+    def test_incomparability_harness(self):
+        report = incomparability_report(BankAccount())
+        assert report.incomparable
+        assert "BA" in report.render()

@@ -1,0 +1,81 @@
+"""Hypothesis strategies for histories, operation sequences and scripts."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.adts import BankAccount
+from repro.core.events import abort, commit, inv, invoke, respond
+from repro.core.history import History, HistoryBuilder
+
+OBJECTS = ("X", "Y")
+TXNS = ("A", "B", "C", "D")
+BA = BankAccount(domain=(1, 2))
+
+
+@st.composite
+def well_formed_histories(draw, max_events: int = 14) -> History:
+    """Random well-formed histories over abstract operations a/b.
+
+    Events are drawn one at a time; each draw picks among the moves that
+    keep the history well formed, so generation never backtracks.
+    """
+    builder = HistoryBuilder()
+    pending = {}
+    finished = set()
+    n = draw(st.integers(min_value=0, max_value=max_events))
+    for _ in range(n):
+        moves = []
+        for txn in TXNS:
+            if txn in finished:
+                continue
+            if txn in pending:
+                obj = pending[txn]
+                moves.append(("respond", txn, obj))
+                moves.append(("abort", txn, obj))
+            else:
+                for obj in OBJECTS:
+                    moves.append(("invoke", txn, obj))
+                moves.append(("commit", txn, None))
+                moves.append(("abort", txn, None))
+        if not moves:
+            break
+        kind, txn, obj = draw(st.sampled_from(moves))
+        if kind == "invoke":
+            name = draw(st.sampled_from(["a", "b"]))
+            builder.append(invoke(inv(name), obj, txn))
+            pending[txn] = obj
+        elif kind == "respond":
+            response = draw(st.sampled_from(["ok", "no", 0, 1]))
+            builder.append(respond(response, obj, txn))
+            del pending[txn]
+        elif kind == "commit":
+            builder.append(commit(draw(st.sampled_from(OBJECTS)), txn))
+            finished.add(txn)
+        elif kind == "abort":
+            target = obj if obj is not None else draw(st.sampled_from(OBJECTS))
+            builder.append(abort(target, txn))
+            pending.pop(txn, None)
+            finished.add(txn)
+    return builder.snapshot()
+
+
+@st.composite
+def ba_legal_sequences(draw, max_length: int = 5):
+    """Random legal operation sequences of the bank account."""
+    seq = []
+    n = draw(st.integers(min_value=0, max_value=max_length))
+    for _ in range(n):
+        candidates = []
+        for invocation in BA.invocation_alphabet():
+            for response in BA.responses(tuple(seq), invocation):
+                candidates.append(BA.operation(invocation, response))
+        if not candidates:
+            break
+        seq.append(draw(st.sampled_from(sorted(candidates, key=str))))
+    return tuple(seq)
+
+
+def ba_ground_operations():
+    """Strategy over the bank account's ground alphabet (small domain)."""
+    return st.sampled_from(sorted(BA.ground_alphabet(), key=str))

@@ -1,0 +1,95 @@
+"""Property tests: fast checkers ≡ reference checkers.
+
+Random histories over random finite specifications — the adversarial
+regime for the pruned/memoized implementations.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atomicity import (
+    find_dynamic_atomicity_violation,
+    is_serializable,
+    serializable_in_order,
+)
+from repro.core.conflict import EmptyConflict
+from repro.core.fast_atomicity import (
+    fast_find_dynamic_atomicity_violation,
+    fast_find_serialization_order,
+    fast_is_serializable,
+)
+from repro.core.object_automaton import TransactionProgram, generate_trace
+from repro.core.views import DU, UIP
+
+from .strategies import BA
+from .test_random_spec_theorems import INVOCATIONS, random_programs, random_specs
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+
+@SETTINGS
+@given(random_specs(), st.integers(min_value=0, max_value=5))
+def test_dynamic_atomicity_agrees_on_random_specs(spec, seed):
+    rng = random.Random(seed)
+    trace = generate_trace(
+        spec, UIP, EmptyConflict(), random_programs(rng), rng,
+        abort_probability=0.2,
+    )
+    reference = find_dynamic_atomicity_violation(trace, spec)
+    fast = fast_find_dynamic_atomicity_violation(trace, spec)
+    assert (reference is None) == (fast is None)
+    if fast is not None:
+        # The fast witness must be a genuine precedes-consistent failure.
+        assert not serializable_in_order(trace.permanent(), fast.order, spec)
+
+
+@SETTINGS
+@given(random_specs(), st.integers(min_value=0, max_value=5))
+def test_serializability_agrees_on_random_specs(spec, seed):
+    rng = random.Random(seed)
+    trace = generate_trace(
+        spec, DU, EmptyConflict(), random_programs(rng), rng,
+        abort_probability=0.2,
+    )
+    perm = trace.permanent()
+    assert fast_is_serializable(perm, spec) == is_serializable(perm, spec)
+
+
+@SETTINGS
+@given(random_specs(), st.integers(min_value=0, max_value=5))
+def test_found_orders_are_legal(spec, seed):
+    rng = random.Random(seed)
+    trace = generate_trace(
+        spec, UIP, EmptyConflict(), random_programs(rng), rng,
+    )
+    perm = trace.permanent()
+    order = fast_find_serialization_order(perm, spec)
+    if order is not None:
+        assert serializable_in_order(perm, order, spec)
+
+
+@SETTINGS
+@given(st.integers(min_value=0, max_value=40))
+def test_bank_account_traces_agree(seed):
+    rng = random.Random(seed)
+    programs = random_programs(rng)
+    from repro.core.events import inv
+
+    programs = [
+        TransactionProgram(
+            p.txn,
+            tuple(
+                rng.choice(
+                    [inv("deposit", 1), inv("withdraw", 1), inv("balance")]
+                )
+                for _ in range(2)
+            ),
+        )
+        for p in programs
+    ]
+    trace = generate_trace(BA, UIP, EmptyConflict(), programs, rng)
+    reference = find_dynamic_atomicity_violation(trace, BA)
+    fast = fast_find_dynamic_atomicity_violation(trace, BA)
+    assert (reference is None) == (fast is None)

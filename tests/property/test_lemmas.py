@@ -1,0 +1,121 @@
+"""Property-based tests of the paper's Lemmas 3–8 on the bank account.
+
+The lemmas are stated for arbitrary specifications; here they are
+exercised over randomly sampled legal operation sequences of ``Spec(BA)``
+with the bounded procedures (depth 3), which is exactly the regime the
+library's checkers operate in.
+"""
+
+from hypothesis import given, settings
+
+from repro.core.equieffective import equieffective, looks_like
+
+from .strategies import BA, ba_ground_operations, ba_legal_sequences
+
+ALPHABET = BA.invocation_alphabet()
+DEPTH = 3
+SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@SETTINGS
+@given(ba_legal_sequences())
+def test_lemma_3_looks_like_reflexive(alpha):
+    assert looks_like(BA, alpha, alpha, ALPHABET, DEPTH)
+
+
+@SETTINGS
+@given(ba_legal_sequences(max_length=3), ba_legal_sequences(max_length=3))
+def test_lemma_3_looks_like_transitive_on_witnesses(alpha, beta):
+    """If α looks like β and β looks like α·ε variants, chain them: we
+    check transitivity through a shared middle term (β)."""
+    gamma = alpha  # try a triangle α ~ β ~ α
+    if looks_like(BA, alpha, beta, ALPHABET, DEPTH) and looks_like(
+        BA, beta, gamma, ALPHABET, DEPTH
+    ):
+        assert looks_like(BA, alpha, gamma, ALPHABET, DEPTH)
+
+
+@SETTINGS
+@given(ba_legal_sequences(max_length=3), ba_legal_sequences(max_length=3))
+def test_lemma_4_equieffective_symmetric(alpha, beta):
+    assert equieffective(BA, alpha, beta, ALPHABET, DEPTH) == equieffective(
+        BA, beta, alpha, ALPHABET, DEPTH
+    )
+
+
+@SETTINGS
+@given(ba_legal_sequences())
+def test_lemma_4_equieffective_reflexive(alpha):
+    assert equieffective(BA, alpha, alpha, ALPHABET, DEPTH)
+
+
+@SETTINGS
+@given(ba_legal_sequences(max_length=3), ba_legal_sequences(max_length=3))
+def test_lemma_5_looks_like_preserves_membership(alpha, beta):
+    """α ∈ Spec and α looks like β ⇒ β ∈ Spec (γ = ε instance)."""
+    if looks_like(BA, alpha, beta, ALPHABET, DEPTH):
+        assert BA.is_legal(alpha)  # strategies only produce legal α
+        assert BA.is_legal(beta)
+
+
+@SETTINGS
+@given(
+    ba_legal_sequences(max_length=2),
+    ba_legal_sequences(max_length=2),
+    ba_ground_operations(),
+)
+def test_lemma_6_looks_like_right_extension(alpha, beta, operation):
+    """α looks like β ⇒ αγ looks like βγ, for single-operation γ."""
+    if looks_like(BA, alpha, beta, ALPHABET, DEPTH):
+        assert looks_like(
+            BA, tuple(alpha) + (operation,), tuple(beta) + (operation,), ALPHABET, DEPTH - 1
+        )
+
+
+@SETTINGS
+@given(
+    ba_legal_sequences(max_length=2),
+    ba_legal_sequences(max_length=2),
+    ba_ground_operations(),
+)
+def test_lemma_7_equieffective_right_extension(alpha, beta, operation):
+    if equieffective(BA, alpha, beta, ALPHABET, DEPTH):
+        assert equieffective(
+            BA,
+            tuple(alpha) + (operation,),
+            tuple(beta) + (operation,),
+            ALPHABET,
+            DEPTH - 1,
+        )
+
+
+@SETTINGS
+@given(ba_ground_operations(), ba_ground_operations())
+def test_lemma_8_fc_symmetric(p, q):
+    """FC (and hence NFC) is symmetric, via the macro-state checker."""
+    checker = _checker()
+    assert checker.commute_forward(p, q) == checker.commute_forward(q, p)
+
+
+@SETTINGS
+@given(ba_legal_sequences())
+def test_prefix_closure(seq):
+    for i in range(len(seq) + 1):
+        assert BA.is_legal(seq[:i])
+
+
+@SETTINGS
+@given(ba_legal_sequences())
+def test_legality_iff_states_nonempty(seq):
+    assert BA.is_legal(seq) == bool(BA.states_after(seq))
+
+
+_CHECKER_CACHE = {}
+
+
+def _checker():
+    if "c" not in _CHECKER_CACHE:
+        _CHECKER_CACHE["c"] = BA.build_checker(
+            context_depth=3, future_depth=3
+        )
+    return _CHECKER_CACHE["c"]

@@ -1,0 +1,150 @@
+"""Fuzzing the theorems on randomly generated serial specifications.
+
+The paper's results hold for *arbitrary* abstract data types.  These
+tests generate random finite prefix-closed languages (random ADTs with
+partial, possibly nondeterministic operations), derive NFC and NRBC
+with the generic (context-explicit) checkers, and then:
+
+* Theorem 9: randomized traces of ``I(X, Spec, UIP, NRBC)`` are always
+  dynamic atomic;
+* Theorem 10: randomized traces of ``I(X, Spec, DU, NFC)`` are always
+  dynamic atomic;
+* Lemma 8 (FC symmetric) holds on every generated spec;
+* safety is monotone: adding conflicts (the total relation) never
+  breaks dynamic atomicity.
+
+This exercises the whole pipeline — spec → commutativity → conflicts →
+automaton → checker — against adversarial structure no hand-written ADT
+would have.
+"""
+
+import random
+from itertools import product
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atomicity import find_dynamic_atomicity_violation
+from repro.core.commutativity import (
+    find_backward_violation,
+    find_forward_violation,
+)
+from repro.core.conflict import PairSetConflict, TotalConflict
+from repro.core.events import inv, op
+from repro.core.object_automaton import TransactionProgram, generate_trace
+from repro.core.serial_spec import LanguageSpec
+from repro.core.views import DU, UIP
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+#: The operation pool: three invocations; ``c`` has two possible results.
+OP_POOL = (
+    op("X", "a"),
+    op("X", "b"),
+    op("X", "c", response="hi"),
+    op("X", "c", response="lo"),
+)
+INVOCATIONS = (inv("a"), inv("b"), inv("c"))
+
+
+@st.composite
+def random_specs(draw):
+    """A random prefix-closed language over the operation pool."""
+    n_seqs = draw(st.integers(min_value=1, max_value=8))
+    sequences = []
+    for _ in range(n_seqs):
+        length = draw(st.integers(min_value=1, max_value=3))
+        sequences.append(
+            [draw(st.sampled_from(OP_POOL)) for _ in range(length)]
+        )
+    return LanguageSpec("X", sequences)
+
+
+def derive_relations(spec: LanguageSpec):
+    """Generic NFC / NRBC over the language's full alphabet."""
+    contexts = sorted(spec.language, key=lambda s: (len(s), repr(s)))
+    max_len = max((len(s) for s in spec.language), default=0)
+    depth = max_len + 1
+    alphabet = sorted(spec.alphabet(), key=repr)
+    nfc, nrbc = set(), set()
+    for p, q in product(alphabet, repeat=2):
+        if find_forward_violation(spec, p, q, contexts, INVOCATIONS, depth):
+            nfc.add((p, q))
+        if find_backward_violation(spec, p, q, contexts, INVOCATIONS, depth):
+            nrbc.add((p, q))
+    return (
+        PairSetConflict(nfc, alphabet=alphabet, name="NFC"),
+        PairSetConflict(nrbc, alphabet=alphabet, name="NRBC"),
+        alphabet,
+    )
+
+
+def random_programs(rng: random.Random, n_txns: int = 3, n_ops: int = 2):
+    return [
+        TransactionProgram(
+            "T%d" % i,
+            tuple(rng.choice(INVOCATIONS) for _ in range(n_ops)),
+        )
+        for i in range(n_txns)
+    ]
+
+
+@SETTINGS
+@given(random_specs(), st.integers(min_value=0, max_value=3))
+def test_theorem_9_uip_nrbc_safe_on_random_specs(spec, seed):
+    _nfc, nrbc, _alphabet = derive_relations(spec)
+    rng = random.Random(seed)
+    for _ in range(4):
+        trace = generate_trace(
+            spec, UIP, nrbc, random_programs(rng), rng, abort_probability=0.2
+        )
+        assert find_dynamic_atomicity_violation(trace, spec) is None, str(trace)
+
+
+@SETTINGS
+@given(random_specs(), st.integers(min_value=0, max_value=3))
+def test_theorem_10_du_nfc_safe_on_random_specs(spec, seed):
+    nfc, _nrbc, _alphabet = derive_relations(spec)
+    rng = random.Random(seed)
+    for _ in range(4):
+        trace = generate_trace(
+            spec, DU, nfc, random_programs(rng), rng, abort_probability=0.2
+        )
+        assert find_dynamic_atomicity_violation(trace, spec) is None, str(trace)
+
+
+@SETTINGS
+@given(random_specs())
+def test_lemma_8_fc_symmetric_on_random_specs(spec):
+    contexts = sorted(spec.language, key=lambda s: (len(s), repr(s)))
+    depth = max((len(s) for s in spec.language), default=0) + 1
+    alphabet = sorted(spec.alphabet(), key=repr)
+    for p, q in product(alphabet, repeat=2):
+        forward = find_forward_violation(spec, p, q, contexts, INVOCATIONS, depth)
+        backward = find_forward_violation(spec, q, p, contexts, INVOCATIONS, depth)
+        assert (forward is None) == (backward is None), (str(p), str(q))
+
+
+@SETTINGS
+@given(random_specs(), st.integers(min_value=0, max_value=3))
+def test_total_conflict_safe_with_both_views(spec, seed):
+    """Exclusive locking is always safe — with either recovery method."""
+    rng = random.Random(seed)
+    for view in (UIP, DU):
+        trace = generate_trace(
+            spec,
+            view,
+            TotalConflict(),
+            random_programs(rng),
+            rng,
+            abort_probability=0.2,
+        )
+        assert find_dynamic_atomicity_violation(trace, spec) is None
+
+
+@SETTINGS
+@given(random_specs())
+def test_language_specs_prefix_closed(spec):
+    from repro.core.serial_spec import is_prefix_closed
+
+    assert is_prefix_closed(spec.language)

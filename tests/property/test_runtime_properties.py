@@ -1,0 +1,120 @@
+"""Property-based end-to-end tests: the runtime is always dynamic atomic.
+
+Random transaction scripts over random ADT configurations, run through
+the concrete scheduler under each (recovery, matching-conflict) pair,
+must always yield dynamic atomic histories — the executable content of
+Theorems 9 and 10 composed with the runtime's equivalence to the
+abstract automaton.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adts import BankAccount, SemiQueue, SetADT
+from repro.core.atomicity import is_dynamic_atomic
+from repro.core.events import inv
+from repro.runtime import ManagedObject, TransactionSystem, run_scripts
+from repro.runtime.scheduler import TransactionScript
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@st.composite
+def ba_scripts(draw):
+    n_txns = draw(st.integers(min_value=2, max_value=4))
+    scripts = []
+    for i in range(n_txns):
+        n_ops = draw(st.integers(min_value=1, max_value=3))
+        steps = []
+        for _ in range(n_ops):
+            kind = draw(st.sampled_from(["deposit", "withdraw", "balance"]))
+            if kind == "balance":
+                steps.append(("BA", inv("balance")))
+            else:
+                steps.append(("BA", inv(kind, draw(st.sampled_from([1, 2])))))
+        scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+    return scripts
+
+
+@st.composite
+def sq_scripts(draw):
+    n_txns = draw(st.integers(min_value=2, max_value=4))
+    scripts = []
+    for i in range(n_txns):
+        n_ops = draw(st.integers(min_value=1, max_value=3))
+        steps = []
+        for _ in range(n_ops):
+            if draw(st.booleans()):
+                steps.append(("SQ", inv("enq", draw(st.sampled_from(["a", "b"])))))
+            else:
+                steps.append(("SQ", inv("deq")))
+        scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+    return scripts
+
+
+@st.composite
+def set_scripts(draw):
+    n_txns = draw(st.integers(min_value=2, max_value=4))
+    scripts = []
+    for i in range(n_txns):
+        n_ops = draw(st.integers(min_value=1, max_value=3))
+        steps = [
+            (
+                "SET",
+                inv(
+                    draw(st.sampled_from(["insert", "delete", "member"])),
+                    draw(st.sampled_from(["a", "b"])),
+                ),
+            )
+            for _ in range(n_ops)
+        ]
+        scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+    return scripts
+
+
+@SETTINGS
+@given(ba_scripts(), st.integers(min_value=0, max_value=10))
+def test_ba_uip_nrbc_dynamic_atomic(scripts, seed):
+    ba = BankAccount("BA", domain=(1, 2))
+    system = TransactionSystem([ManagedObject(ba, ba.nrbc_conflict(), "UIP")])
+    run_scripts(system, scripts, seed=seed)
+    assert is_dynamic_atomic(system.history(), ba)
+
+
+@SETTINGS
+@given(ba_scripts(), st.integers(min_value=0, max_value=10))
+def test_ba_du_nfc_dynamic_atomic(scripts, seed):
+    ba = BankAccount("BA", domain=(1, 2))
+    system = TransactionSystem([ManagedObject(ba, ba.nfc_conflict(), "DU")])
+    run_scripts(system, scripts, seed=seed)
+    assert is_dynamic_atomic(system.history(), ba)
+
+
+@SETTINGS
+@given(sq_scripts(), st.integers(min_value=0, max_value=10))
+def test_semiqueue_uip_nrbc_dynamic_atomic(scripts, seed):
+    sq = SemiQueue("SQ", domain=("a", "b"))
+    system = TransactionSystem([ManagedObject(sq, sq.nrbc_conflict(), "UIP")])
+    run_scripts(system, scripts, seed=seed)
+    assert is_dynamic_atomic(system.history(), sq)
+
+
+@SETTINGS
+@given(set_scripts(), st.integers(min_value=0, max_value=10))
+def test_set_du_nfc_dynamic_atomic(scripts, seed):
+    s = SetADT("SET", domain=("a", "b"))
+    system = TransactionSystem([ManagedObject(s, s.nfc_conflict(), "DU")])
+    run_scripts(system, scripts, seed=seed)
+    assert is_dynamic_atomic(system.history(), s)
+
+
+@SETTINGS
+@given(ba_scripts(), st.integers(min_value=0, max_value=10))
+def test_ba_2pl_dynamic_atomic_either_recovery(scripts, seed):
+    from repro.runtime import read_write_conflict
+
+    for recovery in ("UIP", "DU"):
+        ba = BankAccount("BA", domain=(1, 2))
+        system = TransactionSystem([ManagedObject(ba, read_write_conflict(ba), recovery)])
+        run_scripts(system, scripts, seed=seed)
+        assert is_dynamic_atomic(system.history(), ba)

@@ -1,0 +1,53 @@
+"""Property tests: JSON serialization round-trips arbitrary histories."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import serde
+from repro.core.history import History
+
+from .strategies import well_formed_histories
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_round_trip_preserves_history(h):
+    assert serde.loads(serde.dumps(h)) == h
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_round_trip_preserves_derived_structure(h):
+    back = serde.loads(serde.dumps(h))
+    assert back.opseq() == h.opseq()
+    assert back.precedes() == h.precedes()
+    assert back.committed() == h.committed()
+    assert back.aborted() == h.aborted()
+    assert back.commit_order() == h.commit_order()
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_document_shape_is_stable(h):
+    doc = serde.history_to_dict(h)
+    assert set(doc) == {"events"}
+    assert all("kind" in e and "obj" in e and "txn" in e for e in doc["events"])
+
+
+@SETTINGS
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-10**6, max_value=10**6),
+            st.text(max_size=10),
+        ),
+        lambda children: st.lists(children, max_size=3).map(tuple),
+        max_leaves=8,
+    )
+)
+def test_value_codec_round_trips(value):
+    assert serde.decode_value(serde.encode_value(value)) == value

@@ -1,0 +1,108 @@
+"""Property tests relating the three recovery views on random histories.
+
+Structural facts that hold for arbitrary well-formed histories:
+
+* visibility: ``DU`` and ``SUIP`` show an active transaction exactly the
+  committed operations plus its own, while ``UIP`` additionally shows
+  every other non-aborted transaction's operations — so, as multisets,
+  ``DU(H,A) = SUIP(H,A) ⊆ UIP(H,A)``;
+* when no *other* transaction is active, the three views contain the
+  same operations (only their order may differ);
+* none of the views ever contains an aborted transaction's operations;
+* a view's own-operations suffix preserves the transaction's execution
+  order.
+"""
+
+from collections import Counter as Bag
+
+from hypothesis import given, settings
+
+from repro.core.views import DU, SUIP, UIP
+
+from .strategies import well_formed_histories
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+PROBE = "PROBE"  # a transaction with no events: always active
+
+
+def bag(ops):
+    return Bag(ops)
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_du_equals_suip_as_multisets(h):
+    for txn in sorted(h.active() | {PROBE}):
+        assert bag(DU(h, txn)) == bag(SUIP(h, txn))
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_du_visibility_subset_of_uip(h):
+    for txn in sorted(h.active() | {PROBE}):
+        du_bag = bag(DU(h, txn))
+        uip_bag = bag(UIP(h, txn))
+        assert all(du_bag[op] <= uip_bag[op] for op in du_bag)
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_views_agree_when_no_other_actives(h):
+    """Project away other active transactions: then all views agree as bags."""
+    for txn in sorted(h.active() | {PROBE}):
+        visible = h.committed() | {txn}
+        projected = h.project_transactions(visible)
+        assert bag(UIP(projected, txn)) == bag(DU(projected, txn))
+        assert bag(UIP(projected, txn)) == bag(SUIP(projected, txn))
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_du_multiset_is_committed_plus_own(h):
+    """DU/SUIP contain exactly the committed operations plus the
+    transaction's own — in particular nothing from aborted or other
+    active transactions."""
+    committed_bag = Bag()
+    for txn in h.committed():
+        committed_bag.update(h.operations_of(txn))
+    for txn in sorted(h.active() | {PROBE}):
+        expected = committed_bag + Bag(h.operations_of(txn))
+        assert bag(DU(h, txn)) == expected
+        assert bag(SUIP(h, txn)) == expected
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_own_suffix_order_preserved(h):
+    """DU ends with the transaction's own ops, in execution order.
+
+    (Not true of SUIP, which interleaves own operations with committed
+    ones in global execution order — hypothesis found the
+    counterexample when this test over-claimed.)
+    """
+    for txn in sorted(h.active()):
+        own = h.operations_of(txn)
+        if not own:
+            continue
+        ops = DU(h, txn)
+        assert tuple(ops[-len(own):]) == own
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_suip_preserves_execution_order(h):
+    """SUIP is the visible transactions' ops in global execution order."""
+    for txn in sorted(h.active() | {PROBE}):
+        visible = h.committed() | {txn}
+        assert SUIP(h, txn) == h.project_transactions(visible).opseq()
+
+
+@SETTINGS
+@given(well_formed_histories())
+def test_uip_is_execution_order(h):
+    """UIP is exactly the survivors' operations in execution order."""
+    survivors = h.transactions() - h.aborted()
+    expected = h.project_transactions(survivors).opseq()
+    for txn in sorted(h.active() | {PROBE}):
+        assert UIP(h, txn) == expected

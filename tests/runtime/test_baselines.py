@@ -1,0 +1,86 @@
+"""Unit tests for the baseline conflict relations."""
+
+import pytest
+
+from repro.adts import BankAccount, Counter, Register, SemiQueue, SetADT
+from repro.runtime.baselines import invocation_conflict, read_write_conflict
+
+
+class TestReadWriteConflict:
+    def test_bank_account_classes(self):
+        ba = BankAccount()
+        rw = read_write_conflict(ba)
+        # Updates are writers.
+        assert rw.conflicts(ba.deposit(1), ba.deposit(2))
+        assert rw.conflicts(ba.withdraw_ok(1), ba.balance(0))
+        assert rw.conflicts(ba.balance(0), ba.deposit(1))
+        # Failed withdrawals and balances are readers: reader/reader free.
+        assert not rw.conflicts(ba.balance(0), ba.balance(1))
+        assert not rw.conflicts(ba.withdraw_no(1), ba.balance(0))
+        assert not rw.conflicts(ba.withdraw_no(1), ba.withdraw_no(2))
+
+    def test_contains_both_typed_relations(self):
+        """2PL is correct with either recovery method: it contains NFC
+        and NRBC (on the ground alphabet)."""
+        ba = BankAccount(domain=(1, 2))
+        rw = read_write_conflict(ba)
+        alphabet = ba.ground_alphabet()
+        assert rw.contains(ba.nfc_conflict(), alphabet)
+        assert rw.contains(ba.nrbc_conflict(), alphabet)
+
+    def test_contains_relations_for_all_small_adts(self):
+        for factory in (
+            lambda: Counter(domain=(1,)),
+            lambda: Register(),
+            lambda: SetADT(domain=("a",)),
+            lambda: SemiQueue(domain=("a",)),
+        ):
+            adt = factory()
+            rw = read_write_conflict(adt)
+            alphabet = adt.ground_alphabet()
+            assert rw.contains(adt.nfc_conflict(), alphabet), adt.name
+            assert rw.contains(adt.nrbc_conflict(), alphabet), adt.name
+
+    def test_register_rw_equals_typed(self):
+        """On the register, 2PL *is* the typed relation (no loss)."""
+        reg = Register()
+        rw = read_write_conflict(reg)
+        alphabet = reg.ground_alphabet()
+        assert rw.pairs(alphabet) == reg.nfc_conflict().pairs(alphabet)
+
+    def test_symmetric(self):
+        ba = BankAccount()
+        assert read_write_conflict(ba).is_symmetric(ba.ground_alphabet())
+
+
+class TestInvocationConflict:
+    def test_lifts_result_dependence(self):
+        """withdraw/OK and withdraw/NO share an invocation: lifting NFC
+        merges their conflicts, so failed withdrawals now conflict with
+        each other's invocation class wherever successful ones did."""
+        ba = BankAccount(domain=(1, 2))
+        lifted = invocation_conflict(ba, ba.nfc_conflict())
+        # Ground NFC: two failed withdrawals commute...
+        assert not ba.nfc_conflict().conflicts(ba.withdraw_no(1), ba.withdraw_no(2))
+        # ...but their invocations can also produce OK results, which conflict.
+        assert lifted.conflicts(ba.withdraw_no(1), ba.withdraw_no(2))
+
+    def test_contains_base(self):
+        ba = BankAccount(domain=(1, 2))
+        base = ba.nfc_conflict()
+        lifted = invocation_conflict(ba, base)
+        assert lifted.contains(base, ba.ground_alphabet())
+
+    def test_no_spurious_conflicts_for_result_free_types(self):
+        """The counter's responses are determined by the invocation
+        (read aside), so lifting adds nothing between updates."""
+        ctr = Counter(domain=(1,))
+        lifted = invocation_conflict(ctr, ctr.nfc_conflict())
+        assert not lifted.conflicts(ctr.increment(1), ctr.increment(1))
+
+    def test_lifted_nrbc(self):
+        ba = BankAccount(domain=(1, 2))
+        lifted = invocation_conflict(ba, ba.nrbc_conflict())
+        # (w-ok, w-ok) free under NRBC, but w-no vs w-ok conflicts, and
+        # they share the withdraw invocation: lifted withdraws conflict.
+        assert lifted.conflicts(ba.withdraw_ok(1), ba.withdraw_ok(2))

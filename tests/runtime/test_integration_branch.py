@@ -1,0 +1,127 @@
+"""A larger integration scenario: a bank branch.
+
+Several accounts plus a shared audit set, mixed single- and
+multi-object transactions (transfers, audits), both recovery methods in
+one system, crashes injected — every global history audited with the
+fast dynamic-atomicity checker.
+"""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount, SetADT
+from repro.core.events import inv
+from repro.core.fast_atomicity import fast_is_atomic, fast_is_dynamic_atomic
+from repro.runtime import (
+    CrashableSystem,
+    DurableObject,
+    ManagedObject,
+    TransactionSystem,
+    run_scripts,
+)
+from repro.runtime.durability import run_with_crashes
+from repro.runtime.scheduler import TransactionScript
+
+ACCOUNTS = ("ACC1", "ACC2", "ACC3")
+
+
+def branch_specs():
+    specs = {name: BankAccount(name, opening=20) for name in ACCOUNTS}
+    specs["AUDITLOG"] = SetADT("AUDITLOG", domain=("t1", "t2", "t3", "t4"))
+    return specs
+
+
+def branch_system(durable: bool = False):
+    objects = []
+    for name in ACCOUNTS:
+        ba = BankAccount(name, opening=20)
+        cls = DurableObject if durable else ManagedObject
+        objects.append(cls(ba, ba.nrbc_conflict(), "UIP"))
+    audit = SetADT("AUDITLOG", domain=("t1", "t2", "t3", "t4"))
+    cls = DurableObject if durable else ManagedObject
+    objects.append(cls(audit, audit.nfc_conflict(), "DU"))
+    return CrashableSystem(objects) if durable else TransactionSystem(objects)
+
+
+def branch_scripts(rng: random.Random, n: int = 10):
+    scripts = []
+    for i in range(n):
+        kind = rng.random()
+        if kind < 0.5:  # transfer between two accounts + audit mark
+            src, dst = rng.sample(ACCOUNTS, 2)
+            amount = rng.choice([1, 2, 3])
+            steps = [
+                (src, inv("withdraw", amount)),
+                (dst, inv("deposit", amount)),
+                ("AUDITLOG", inv("insert", rng.choice(["t1", "t2", "t3", "t4"]))),
+            ]
+        elif kind < 0.8:  # deposit at one account
+            steps = [(rng.choice(ACCOUNTS), inv("deposit", rng.choice([1, 2])))]
+        else:  # audit: membership probes plus a balance read
+            steps = [
+                ("AUDITLOG", inv("member", rng.choice(["t1", "t2"]))),
+                (rng.choice(ACCOUNTS), inv("balance")),
+            ]
+        scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+    return scripts
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_branch_runs_are_dynamic_atomic(seed):
+    system = branch_system()
+    scripts = branch_scripts(random.Random(seed))
+    metrics = run_scripts(system, scripts, seed=seed)
+    assert metrics.committed >= 5
+    h = system.history()
+    specs = branch_specs()
+    assert fast_is_dynamic_atomic(h, specs)
+    assert fast_is_atomic(h, specs)
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_branch_projections_locally_dynamic_atomic(seed):
+    system = branch_system()
+    run_scripts(system, branch_scripts(random.Random(seed)), seed=seed)
+    h = system.history()
+    specs = branch_specs()
+    for obj in h.objects():
+        assert fast_is_dynamic_atomic(h.project_objects(obj), specs[obj])
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_branch_with_crashes(seed):
+    system = branch_system(durable=True)
+    scripts = branch_scripts(random.Random(seed), n=8)
+    metrics, crashes = run_with_crashes(
+        system, scripts, seed=seed, crash_every=7
+    )
+    assert crashes >= 1
+    assert metrics.committed >= 1
+    assert fast_is_dynamic_atomic(system.history(), branch_specs())
+
+
+def test_transfers_conserve_money():
+    """Committed transfers move value; the branch total is conserved
+    (modulo committed pure deposits, which we track)."""
+    system = branch_system()
+    rng = random.Random(11)
+    scripts = branch_scripts(rng, n=12)
+    run_scripts(system, scripts, seed=11)
+    h = system.history()
+    perm = h.permanent()
+    deposited = withdrawn = 0
+    for operation in perm.opseq():
+        if operation.obj in ACCOUNTS:
+            if operation.name == "deposit":
+                deposited += operation.args[0]
+            elif operation.name == "withdraw" and operation.response == "ok":
+                withdrawn += operation.args[0]
+    # Final balances must equal openings + deposits - successful withdrawals.
+    total = 0
+    for name in ACCOUNTS:
+        spec = BankAccount(name, opening=20)
+        states = spec.states_after(perm.project_objects(name).opseq())
+        assert len(states) == 1
+        total += next(iter(states))
+    assert total == 3 * 20 + deposited - withdrawn

@@ -1,0 +1,126 @@
+"""Unit tests for the lock manager and the waits-for graph."""
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.conflict import EmptyConflict, TotalConflict
+from repro.core.events import op
+from repro.runtime.lock_manager import LockManager, WaitsForGraph
+
+A = op("X", "a")
+B = op("X", "b")
+
+
+class TestLockManager:
+    def test_no_conflicts_all_free(self):
+        lm = LockManager(EmptyConflict())
+        lm.acquire("T1", A)
+        assert lm.can_acquire("T2", A)
+
+    def test_conflict_blocks(self):
+        lm = LockManager(TotalConflict())
+        lm.acquire("T1", A)
+        assert not lm.can_acquire("T2", B)
+        assert lm.blockers("T2", B) == {"T1"}
+
+    def test_own_locks_never_block(self):
+        lm = LockManager(TotalConflict())
+        lm.acquire("T1", A)
+        assert lm.can_acquire("T1", B)
+
+    def test_release_frees(self):
+        lm = LockManager(TotalConflict())
+        lm.acquire("T1", A)
+        released = lm.release_all("T1")
+        assert released == (A,)
+        assert lm.can_acquire("T2", B)
+
+    def test_release_unknown_is_noop(self):
+        lm = LockManager(TotalConflict())
+        assert lm.release_all("T9") == ()
+
+    def test_held_by(self):
+        lm = LockManager(EmptyConflict())
+        lm.acquire("T1", A)
+        lm.acquire("T1", B)
+        assert lm.held_by("T1") == (A, B)
+        assert lm.held_by("T2") == ()
+
+    def test_holders(self):
+        lm = LockManager(EmptyConflict())
+        lm.acquire("T1", A)
+        lm.acquire("T2", B)
+        assert lm.holders() == {"T1", "T2"}
+
+    def test_asymmetric_conflicts_respected(self):
+        ba = BankAccount()
+        lm = LockManager(ba.nrbc_conflict())
+        lm.acquire("T1", ba.deposit(1))
+        # withdraw-OK conflicts with held deposit...
+        assert lm.blockers("T2", ba.withdraw_ok(1)) == {"T1"}
+        lm2 = LockManager(ba.nrbc_conflict())
+        lm2.acquire("T1", ba.withdraw_ok(1))
+        # ...but deposit does not conflict with held withdraw-OK.
+        assert lm2.blockers("T2", ba.deposit(1)) == frozenset()
+
+
+class TestWaitsForGraph:
+    def test_no_cycle_in_chain(self):
+        g = WaitsForGraph()
+        g.wait("A", ["B"])
+        g.wait("B", ["C"])
+        assert g.find_cycle() is None
+
+    def test_two_cycle(self):
+        g = WaitsForGraph()
+        g.wait("A", ["B"])
+        g.wait("B", ["A"])
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {"A", "B"}
+
+    def test_three_cycle(self):
+        g = WaitsForGraph()
+        g.wait("A", ["B"])
+        g.wait("B", ["C"])
+        g.wait("C", ["A"])
+        assert set(g.find_cycle()) == {"A", "B", "C"}
+
+    def test_self_edges_ignored(self):
+        g = WaitsForGraph()
+        g.wait("A", ["A"])
+        assert g.find_cycle() is None
+
+    def test_wait_replaces_stale_edges(self):
+        g = WaitsForGraph()
+        g.wait("A", ["B"])
+        g.wait("A", ["C"])  # B released meanwhile; only C blocks now
+        assert g.edges() == {("A", "C")}
+        g.wait("B", ["A"])
+        assert g.find_cycle() is None  # no A->B edge anymore
+
+    def test_clear_waiter(self):
+        g = WaitsForGraph()
+        g.wait("A", ["B"])
+        g.clear_waiter("A")
+        assert g.edges() == frozenset()
+
+    def test_remove_transaction_both_roles(self):
+        g = WaitsForGraph()
+        g.wait("A", ["B"])
+        g.wait("B", ["A"])
+        g.remove_transaction("A")
+        assert g.find_cycle() is None
+        assert g.edges() == frozenset()
+
+    def test_empty_block_set_clears(self):
+        g = WaitsForGraph()
+        g.wait("A", ["B"])
+        g.wait("A", [])
+        assert g.edges() == frozenset()
+
+    def test_deterministic_cycle(self):
+        g = WaitsForGraph()
+        g.wait("A", ["B"])
+        g.wait("B", ["A"])
+        assert g.find_cycle() == g.find_cycle()

@@ -1,0 +1,66 @@
+"""Unit tests for run metrics and aggregation."""
+
+import pytest
+
+from repro.runtime.metrics import (
+    MetricsSummary,
+    RunMetrics,
+    format_summary_table,
+    summarize,
+)
+
+
+class TestRunMetrics:
+    def test_throughput(self):
+        m = RunMetrics(ticks=10, committed=5)
+        assert m.throughput == 0.5
+
+    def test_throughput_zero_ticks(self):
+        assert RunMetrics().throughput == 0.0
+
+    def test_abort_rate(self):
+        m = RunMetrics(committed=3, aborted=1)
+        assert m.abort_rate == 0.25
+
+    def test_abort_rate_no_transactions(self):
+        assert RunMetrics().abort_rate == 0.0
+
+    def test_row(self):
+        m = RunMetrics(label="x", ticks=4, committed=2)
+        row = m.row()
+        assert row[0] == "x" and row[-1] == 0.5
+
+
+class TestSummarize:
+    def test_aggregates(self):
+        runs = [
+            RunMetrics(ticks=10, committed=5, blocked_attempts=2),
+            RunMetrics(ticks=20, committed=5, blocked_attempts=4),
+        ]
+        s = summarize("cfg", runs)
+        assert s.runs == 2
+        assert s.mean_throughput == pytest.approx((0.5 + 0.25) / 2)
+        assert s.min_throughput == 0.25
+        assert s.max_throughput == 0.5
+        assert s.mean_ticks == 15
+        assert s.mean_blocked == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize("cfg", [])
+
+
+class TestFormatting:
+    def test_table_sorted_by_throughput(self):
+        summaries = [
+            summarize("slow", [RunMetrics(ticks=10, committed=1)]),
+            summarize("fast", [RunMetrics(ticks=10, committed=9)]),
+        ]
+        text = format_summary_table(summaries)
+        assert text.index("fast") < text.index("slow")
+
+    def test_table_has_headers(self):
+        text = format_summary_table(
+            [summarize("cfg", [RunMetrics(ticks=1, committed=1)])]
+        )
+        assert "thruput" in text and "deadlocks" in text

@@ -1,0 +1,93 @@
+"""Stronger runtime assurances: online dynamic atomicity and liveness.
+
+Online dynamic atomicity (paper, Section 7) is the induction invariant
+in Theorem 9's proof — every *commit set* must serialize in every
+precedes-consistent order, not just the already-committed one.  The
+runtime under matching relations satisfies it; and the scheduler is
+live: with a generous restart budget every script eventually commits.
+"""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount, SemiQueue
+from repro.core.atomicity import is_online_dynamic_atomic
+from repro.core.events import inv
+from repro.runtime import ManagedObject, TransactionSystem, run_scripts
+from repro.runtime.scheduler import TransactionScript
+
+
+def banking_scripts(rng: random.Random, n=5, ops=2):
+    scripts = []
+    for i in range(n):
+        steps = []
+        for _ in range(ops):
+            kind = rng.choice(["deposit", "withdraw", "balance"])
+            steps.append(
+                ("BA", inv("balance") if kind == "balance" else inv(kind, rng.choice([1, 2])))
+            )
+        scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+    return scripts
+
+
+class TestOnlineDynamicAtomicity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_uip_nrbc_online(self, seed):
+        ba = BankAccount("BA", opening=4)
+        system = TransactionSystem([ManagedObject(ba, ba.nrbc_conflict(), "UIP")])
+        run_scripts(system, banking_scripts(random.Random(seed)), seed=seed)
+        assert is_online_dynamic_atomic(system.history(), ba)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_du_nfc_online(self, seed):
+        ba = BankAccount("BA", opening=4)
+        system = TransactionSystem([ManagedObject(ba, ba.nfc_conflict(), "DU")])
+        run_scripts(system, banking_scripts(random.Random(seed + 10)), seed=seed)
+        assert is_online_dynamic_atomic(system.history(), ba)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_semiqueue_online(self, seed):
+        sq = SemiQueue("SQ", domain=("a", "b"))
+        system = TransactionSystem([ManagedObject(sq, sq.nrbc_conflict(), "UIP")])
+        rng = random.Random(seed)
+        scripts = [
+            TransactionScript(
+                "T%d" % i,
+                tuple(
+                    ("SQ", inv("enq", rng.choice(["a", "b"])) if rng.random() < 0.6 else inv("deq"))
+                    for _ in range(2)
+                ),
+            )
+            for i in range(4)
+        ]
+        run_scripts(system, scripts, seed=seed)
+        assert is_online_dynamic_atomic(system.history(), sq)
+
+
+class TestLiveness:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_every_script_eventually_commits(self, seed):
+        """With enough restarts and a funded account, no script starves."""
+        ba = BankAccount("BA", opening=100)
+        system = TransactionSystem([ManagedObject(ba, ba.nrbc_conflict(), "UIP")])
+        scripts = banking_scripts(random.Random(seed), n=6, ops=3)
+        metrics = run_scripts(system, scripts, seed=seed, max_restarts=200)
+        assert metrics.committed == 6
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_liveness_under_du(self, seed):
+        ba = BankAccount("BA", opening=100)
+        system = TransactionSystem([ManagedObject(ba, ba.nfc_conflict(), "DU")])
+        scripts = banking_scripts(random.Random(seed), n=6, ops=3)
+        metrics = run_scripts(system, scripts, seed=seed, max_restarts=200)
+        assert metrics.committed == 6
+
+    def test_progress_metric_consistency(self):
+        ba = BankAccount("BA", opening=100)
+        system = TransactionSystem([ManagedObject(ba, ba.nrbc_conflict(), "UIP")])
+        scripts = banking_scripts(random.Random(0), n=4, ops=2)
+        metrics = run_scripts(system, scripts, seed=0, max_restarts=200)
+        h = system.history()
+        assert metrics.committed == len(h.committed())
+        assert metrics.aborted == len(h.aborted())

@@ -1,0 +1,158 @@
+"""Tests for the optimistic (commit-time-validated) protocol."""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount, SemiQueue, SetADT
+from repro.core.atomicity import is_dynamic_atomic
+from repro.core.events import inv
+from repro.runtime.errors import InvalidTransactionState
+from repro.runtime.optimistic import (
+    OptimisticObject,
+    OptimisticSystem,
+    run_optimistic,
+)
+from repro.runtime.scheduler import TransactionScript
+
+
+def make_system(adt=None):
+    adt = adt or BankAccount("BA", opening=10)
+    return adt, OptimisticSystem([OptimisticObject(adt, adt.nfc_conflict())])
+
+
+class TestExecution:
+    def test_never_blocks(self):
+        ba, system = make_system()
+        assert system.invoke("A", "BA", inv("balance")).ok
+        assert system.invoke("B", "BA", inv("deposit", 1)).ok  # no blocking
+
+    def test_private_views(self):
+        ba, system = make_system(BankAccount("BA"))
+        system.invoke("A", "BA", inv("deposit", 5))
+        outcome = system.invoke("B", "BA", inv("balance"))
+        assert outcome.operation == ba.balance(0)
+
+    def test_pending_invocation_protocol(self):
+        ba, system = make_system()
+        obj = system.objects["BA"]
+        obj._pending["A"] = inv("deposit", 1)
+        with pytest.raises(InvalidTransactionState):
+            obj.try_operation("A", inv("deposit", 2))
+
+
+class TestValidation:
+    def test_non_conflicting_both_commit(self):
+        ba, system = make_system()
+        system.invoke("A", "BA", inv("deposit", 1))
+        system.invoke("B", "BA", inv("deposit", 2))
+        assert system.commit("A")
+        assert system.commit("B")  # deposits commute forward: validates
+
+    def test_first_committer_wins(self):
+        ba, system = make_system(BankAccount("BA", opening=2))
+        system.invoke("A", "BA", inv("withdraw", 2))
+        system.invoke("B", "BA", inv("withdraw", 2))
+        assert system.commit("A")
+        assert not system.commit("B")  # (w-ok, w-ok) ∈ NFC: validation fails
+        assert system.status("B") == "aborted"
+
+    def test_reader_invalidated_by_update(self):
+        ba, system = make_system()
+        system.invoke("A", "BA", inv("balance"))
+        system.invoke("B", "BA", inv("deposit", 1))
+        assert system.commit("B")
+        assert not system.commit("A")  # stale read
+
+    def test_commits_before_start_irrelevant(self):
+        ba, system = make_system()
+        system.invoke("B", "BA", inv("deposit", 1))
+        assert system.commit("B")
+        system.invoke("A", "BA", inv("balance"))  # starts after B committed
+        assert system.commit("A")
+
+    def test_validation_failures_counted(self):
+        ba, system = make_system(BankAccount("BA", opening=2))
+        system.invoke("A", "BA", inv("withdraw", 2))
+        system.invoke("B", "BA", inv("withdraw", 2))
+        system.commit("A")
+        system.commit("B")
+        assert system.objects["BA"].validation_failures == 1
+
+
+class TestDynamicAtomicity:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_histories_dynamic_atomic(self, seed):
+        ba = BankAccount("BA", opening=5)
+        system = OptimisticSystem([OptimisticObject(ba, ba.nfc_conflict())])
+        rng = random.Random(seed)
+        scripts = []
+        for i in range(4):
+            steps = []
+            for _ in range(2):
+                kind = rng.choice(["deposit", "withdraw", "balance"])
+                if kind == "balance":
+                    steps.append(("BA", inv("balance")))
+                else:
+                    steps.append(("BA", inv(kind, rng.choice([1, 2]))))
+            scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+        metrics = run_optimistic(system, scripts, seed=seed)
+        assert metrics.committed >= 1
+        assert is_dynamic_atomic(system.history(), ba)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_semiqueue_optimistic(self, seed):
+        sq = SemiQueue("SQ", domain=("a", "b"))
+        system = OptimisticSystem([OptimisticObject(sq, sq.nfc_conflict())])
+        rng = random.Random(seed)
+        scripts = [
+            TransactionScript(
+                "T%d" % i,
+                tuple(
+                    (
+                        "SQ",
+                        inv("enq", rng.choice(["a", "b"]))
+                        if rng.random() < 0.6
+                        else inv("deq"),
+                    )
+                    for _ in range(2)
+                ),
+            )
+            for i in range(4)
+        ]
+        run_optimistic(system, scripts, seed=seed)
+        assert is_dynamic_atomic(system.history(), sq)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_under_constrained_validation_unsafe(self, seed):
+        """Validating with NRBC (wrong for DU) admits anomalies."""
+        ba = BankAccount("BA", opening=2)
+        system = OptimisticSystem([OptimisticObject(ba, ba.nrbc_conflict())])
+        system.invoke("B", "BA", inv("withdraw", 2))
+        system.invoke("C", "BA", inv("withdraw", 2))
+        assert system.commit("B")
+        assert system.commit("C")  # (w-ok, w-ok) ∉ NRBC: validation passes!
+        assert not is_dynamic_atomic(system.history(), ba)
+
+
+class TestDriver:
+    def test_all_scripts_finish(self):
+        ba = BankAccount("BA", opening=50)
+        system = OptimisticSystem([OptimisticObject(ba, ba.nfc_conflict())])
+        scripts = [
+            TransactionScript("T%d" % i, (("BA", inv("deposit", 1)),))
+            for i in range(5)
+        ]
+        metrics = run_optimistic(system, scripts, seed=0)
+        assert metrics.committed == 5
+        assert metrics.aborted == 0
+
+    def test_retries_after_validation_failure(self):
+        ba = BankAccount("BA", opening=4)
+        system = OptimisticSystem([OptimisticObject(ba, ba.nfc_conflict())])
+        scripts = [
+            TransactionScript("T%d" % i, (("BA", inv("withdraw", 2)),))
+            for i in range(2)
+        ]
+        metrics = run_optimistic(system, scripts, seed=3)
+        assert metrics.committed == 2  # retry succeeds (enough funds)

@@ -1,0 +1,140 @@
+"""Tests for the generic view-driven recovery manager."""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.core.atomicity import is_dynamic_atomic
+from repro.core.events import inv
+from repro.core.history import History
+from repro.core.object_automaton import TransactionProgram, generate_trace
+from repro.core.views import DU, SUIP, UIP
+from repro.runtime import ManagedObject, TransactionSystem, run_scripts
+from repro.runtime.recovery import (
+    DeferredUpdateManager,
+    UpdateInPlaceManager,
+    ViewRecoveryManager,
+    make_recovery_manager,
+)
+from repro.runtime.scheduler import TransactionScript
+
+
+@pytest.fixture
+def ba():
+    return BankAccount("BA", domain=(1, 2))
+
+
+def replay(manager, trace: History):
+    prefix = []
+    for event in trace:
+        prefix.append(event)
+        h = History(prefix, validate=False)
+        if event.is_response:
+            manager.on_execute(event.txn, h.operations_of(event.txn)[-1])
+        elif event.is_commit:
+            manager.on_commit(event.txn)
+        elif event.is_abort:
+            manager.on_abort(event.txn)
+    return manager
+
+
+class TestEquivalenceWithSpecialized:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_uip_manager(self, ba, seed):
+        rng = random.Random(seed)
+        programs = [
+            TransactionProgram(
+                "T%d" % i, (inv("deposit", 1), inv("withdraw", 1))
+            )
+            for i in range(3)
+        ]
+        trace = generate_trace(
+            ba, UIP, ba.nrbc_conflict(), programs, rng, abort_probability=0.3
+        )
+        generic = replay(ViewRecoveryManager(ba, UIP), trace)
+        specialized = replay(UpdateInPlaceManager(ba), trace)
+        for txn in sorted(trace.active() | {"PROBE"}):
+            assert generic.macro(txn) == specialized.macro(txn)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_du_manager(self, ba, seed):
+        rng = random.Random(seed + 50)
+        programs = [
+            TransactionProgram("T%d" % i, (inv("deposit", 2), inv("balance")))
+            for i in range(3)
+        ]
+        trace = generate_trace(
+            ba, DU, ba.nfc_conflict(), programs, rng, abort_probability=0.3
+        )
+        generic = replay(ViewRecoveryManager(ba, DU), trace)
+        specialized = replay(DeferredUpdateManager(ba), trace)
+        for txn in sorted(trace.active() | {"PROBE"}):
+            assert generic.macro(txn) == specialized.macro(txn)
+
+
+class TestFactory:
+    def test_suip_factory(self, ba):
+        manager = make_recovery_manager(ba, "SUIP")
+        assert isinstance(manager, ViewRecoveryManager)
+        assert manager.name == "view(SUIP)"
+
+
+class TestSUIPRuntime:
+    """The runtime executes a view with no specialized manager."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_suip_with_nfc_dynamic_atomic(self, seed):
+        """EXP-V1 synthesized NFC as SUIP's requirement; the runtime
+        bears it out: SUIP + NFC yields dynamic atomic histories."""
+        ba = BankAccount("BA", domain=(1, 2), opening=4)
+        system = TransactionSystem([ManagedObject(ba, ba.nfc_conflict(), "SUIP")])
+        rng = random.Random(seed)
+        scripts = []
+        for i in range(4):
+            steps = []
+            for _ in range(2):
+                kind = rng.choice(["deposit", "withdraw", "balance"])
+                steps.append(
+                    ("BA", inv("balance") if kind == "balance" else inv(kind, rng.choice([1, 2])))
+                )
+            scripts.append(TransactionScript("T%d" % i, tuple(steps)))
+        metrics = run_scripts(system, scripts, seed=seed)
+        assert metrics.committed >= 1
+        assert is_dynamic_atomic(system.history(), ba)
+
+    def test_suip_semantics_no_dirty_reads(self):
+        from repro.core.conflict import EmptyConflict
+
+        ba = BankAccount("BA")
+        obj = ManagedObject(ba, EmptyConflict(), "SUIP")
+        obj.try_operation("A", inv("deposit", 5))
+        outcome = obj.try_operation("B", inv("balance"))
+        assert outcome.operation == ba.balance(0)  # A's active deposit hidden
+
+    def test_suip_poisoned_without_nfc_conflicts(self):
+        """Why SUIP needs (withdraw/NO, deposit) ∈ Conflict: without it,
+        B's failed withdrawal (validated against a view hiding A's
+        active deposit) lands *after* the deposit in execution order,
+        where it is illegal — the committed view goes empty and later
+        transactions are stuck."""
+        from repro.core.conflict import EmptyConflict
+
+        ba = BankAccount("BA")
+        obj = ManagedObject(ba, EmptyConflict(), "SUIP")
+        obj.try_operation("A", inv("deposit", 5))
+        obj.try_operation("B", inv("withdraw", 3))  # sees balance 0: "no"
+        assert obj.history().operations_of("B")[-1] == ba.withdraw_no(3)
+        obj.commit("B")
+        obj.commit("A")
+        outcome = obj.try_operation("C", inv("balance"))
+        assert outcome.status == "stuck"
+
+    def test_suip_with_nfc_blocks_the_poisoning(self):
+        """With NFC the dangerous withdrawal is blocked, not executed."""
+        ba = BankAccount("BA")
+        obj = ManagedObject(ba, ba.nfc_conflict(), "SUIP")
+        obj.try_operation("A", inv("deposit", 5))
+        outcome = obj.try_operation("B", inv("withdraw", 3))
+        assert outcome.status == "blocked"
+        assert outcome.blockers == {"A"}

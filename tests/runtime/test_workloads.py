@@ -1,0 +1,90 @@
+"""Unit tests for workload generators (determinism and shape)."""
+
+import random
+
+import pytest
+
+from repro.runtime.workloads import (
+    escrow_workload,
+    hotspot_banking,
+    mixed_transfers,
+    producer_consumer,
+    set_membership_workload,
+)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "generator",
+        [
+            lambda rng: hotspot_banking(rng),
+            lambda rng: escrow_workload(rng),
+            lambda rng: producer_consumer(rng),
+            lambda rng: set_membership_workload(rng),
+            lambda rng: mixed_transfers(rng),
+        ],
+    )
+    def test_same_seed_same_workload(self, generator):
+        a = generator(random.Random(42))
+        b = generator(random.Random(42))
+        assert a == b
+
+    def test_different_seed_different_workload(self):
+        a = hotspot_banking(random.Random(1))
+        b = hotspot_banking(random.Random(2))
+        assert a != b
+
+
+class TestShapes:
+    def test_hotspot_counts(self):
+        scripts = hotspot_banking(random.Random(0), transactions=5, ops_per_txn=4)
+        assert len(scripts) == 5
+        assert all(len(s.steps) == 4 for s in scripts)
+        assert all(obj == "BA" for s in scripts for obj, _ in s.steps)
+
+    def test_hotspot_weights_respected(self):
+        scripts = hotspot_banking(
+            random.Random(0),
+            transactions=20,
+            ops_per_txn=5,
+            deposit_weight=1.0,
+            withdraw_weight=0.0,
+            balance_weight=0.0,
+        )
+        names = {invocation.name for s in scripts for _, invocation in s.steps}
+        assert names == {"deposit"}
+
+    def test_producer_consumer_split(self):
+        scripts = producer_consumer(
+            random.Random(0), producers=3, consumers=2, ops_per_txn=2
+        )
+        producers = [s for s in scripts if s.name.startswith("P")]
+        consumers = [s for s in scripts if s.name.startswith("C")]
+        assert len(producers) == 3 and len(consumers) == 2
+        assert all(
+            invocation.name == "enq" for s in producers for _, invocation in s.steps
+        )
+        assert all(
+            invocation.name == "deq" for s in consumers for _, invocation in s.steps
+        )
+
+    def test_mixed_transfers_two_distinct_objects(self):
+        scripts = mixed_transfers(random.Random(0), transactions=10)
+        for s in scripts:
+            (src, w), (dst, d) = s.steps
+            assert src != dst
+            assert w.name == "withdraw" and d.name == "deposit"
+            assert w.args == d.args
+
+    def test_set_workload_elements(self):
+        scripts = set_membership_workload(
+            random.Random(0), elements=("x", "y"), transactions=4
+        )
+        for s in scripts:
+            for _, invocation in s.steps:
+                assert invocation.args[0] in ("x", "y")
+
+    def test_escrow_names(self):
+        scripts = escrow_workload(random.Random(0), transactions=4)
+        names = {invocation.name for s in scripts for _, invocation in s.steps}
+        assert names <= {"credit", "debit"}

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import serde
+from repro.experiments.examples import (
+    section_3_3_history,
+    section_3_4_perturbed_history,
+)
+
+
+class TestAdtsCommand:
+    def test_lists_all(self, capsys):
+        assert main(["adts"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("bank", "semiqueue", "escrow", "register"):
+            assert kind in out
+
+
+class TestTablesCommand:
+    def test_bank_tables(self, capsys):
+        assert main(["tables", "bank"]) == 0
+        out = capsys.readouterr().out
+        assert "Forward Commutativity Relation" in out
+        assert "Right Backward Commutativity Relation" in out
+        assert "NFC-only conflicts" in out
+
+    def test_markdown(self, capsys):
+        assert main(["tables", "register", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| |" in out
+
+    def test_unknown_adt(self):
+        with pytest.raises(SystemExit):
+            main(["tables", "btree"])
+
+    def test_custom_name(self, capsys):
+        assert main(["tables", "counter", "--name", "HITS"]) == 0
+        assert "HITS" in capsys.readouterr().out
+
+
+class TestFiguresCommand:
+    def test_figures_match(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6-1 matches the paper: True" in out
+        assert "Figure 6-2 matches the paper: True" in out
+
+
+class TestCounterexampleCommand:
+    def test_uip(self, capsys):
+        assert main(["counterexample", "uip"]) == 0
+        out = capsys.readouterr().out
+        assert "missing conflict pair" in out
+        assert "not serializable" in out
+
+    def test_du(self, capsys):
+        assert main(["counterexample", "du"]) == 0
+        assert "missing conflict pair" in capsys.readouterr().out
+
+
+class TestAuditCommand:
+    def test_clean_history(self, tmp_path, capsys):
+        path = str(tmp_path / "h.json")
+        serde.dump(section_3_3_history(), path)
+        assert main(["audit", path, "--adt", "bank"]) == 0
+        out = capsys.readouterr().out
+        assert "atomic       : yes (order A-B-C)" in out
+        assert "dynamic atomic: yes" in out
+
+    def test_violating_history_exit_code(self, tmp_path, capsys):
+        path = str(tmp_path / "h.json")
+        serde.dump(section_3_4_perturbed_history(), path)
+        assert main(["audit", path, "--adt", "bank"]) == 1
+        out = capsys.readouterr().out
+        assert "dynamic atomic: NO" in out
+
+    def test_per_object_bindings(self, tmp_path, capsys):
+        path = str(tmp_path / "h.json")
+        serde.dump(section_3_3_history(), path)
+        assert main(["audit", path, "--object", "BA=bank"]) == 0
+
+    def test_missing_spec(self, tmp_path):
+        path = str(tmp_path / "h.json")
+        serde.dump(section_3_3_history(), path)
+        with pytest.raises(SystemExit):
+            main(["audit", path])
+
+    def test_bad_binding(self, tmp_path):
+        path = str(tmp_path / "h.json")
+        serde.dump(section_3_3_history(), path)
+        with pytest.raises(SystemExit):
+            main(["audit", path, "--object", "nonsense"])
+
+
+class TestCompareCommand:
+    def test_semiqueue_small(self, capsys):
+        assert (
+            main(
+                [
+                    "compare",
+                    "semiqueue",
+                    "--seeds",
+                    "2",
+                    "--transactions",
+                    "4",
+                    "--ops",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "UIP+NRBC" in out and "thruput" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "blockchain"])

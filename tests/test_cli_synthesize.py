@@ -1,0 +1,28 @@
+"""Tests for the CLI synthesize command."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSynthesizeCommand:
+    def test_counter_uip(self, capsys):
+        assert main(["synthesize", "uip", "--adt", "counter", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "required conflicts for view UIP" in out
+        assert "read" in out and "increment" in out
+
+    def test_bank_suip(self, capsys):
+        assert main(["synthesize", "suip", "--adt", "bank", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "required conflicts for view SUIP" in out
+
+    def test_unknown_view(self):
+        with pytest.raises(SystemExit):
+            main(["synthesize", "mvcc", "--adt", "bank"])
+
+    def test_register_du(self, capsys):
+        assert main(["synthesize", "du", "--adt", "register"]) == 0
+        out = capsys.readouterr().out
+        # Register requires the rw matrix; at least write/write appears.
+        assert "write" in out
