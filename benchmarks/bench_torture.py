@@ -1,0 +1,86 @@
+"""EXP-C9: torture throughput — crash-schedule audit rate by configuration.
+
+Measures how many complete fault schedules per second the torture
+harness sustains (each schedule = workload run + injected faults +
+crash/restart protocol + three-invariant audit), for the DU and UIP
+config families and for the full matrix.  Also spot-checks the negative
+control so the measured throughput is of a harness that demonstrably
+still has teeth.
+"""
+
+import pytest
+
+from repro.adts.registry import ADT_REGISTRY
+from repro.runtime.torture import TortureConfig, configs_for, run_torture
+
+SCHEDULES = 60
+
+
+def run_family(recovery: str, schedules: int = SCHEDULES, seed: int = 0):
+    configs = configs_for(sorted(ADT_REGISTRY), (recovery,))
+    return run_torture(configs, schedules=schedules, seed=seed)
+
+
+@pytest.mark.experiment("EXP-C9")
+def test_torture_throughput_du(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_family("DU"), rounds=3, iterations=1
+    )
+    assert report.ok, "\n".join(v.format() for v in report.violations)
+    assert report.schedules == SCHEDULES
+    assert report.crashes >= report.schedules  # every schedule ends in an audit crash
+
+
+@pytest.mark.experiment("EXP-C9")
+def test_torture_throughput_uip(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_family("UIP"), rounds=3, iterations=1
+    )
+    assert report.ok, "\n".join(v.format() for v in report.violations)
+    assert report.schedules == SCHEDULES
+
+
+@pytest.mark.experiment("EXP-C9")
+def test_torture_full_matrix_rate(benchmark, capsys):
+    """The headline number: schedules/second over the full config matrix."""
+
+    def campaign():
+        configs = configs_for(sorted(ADT_REGISTRY), checkpoint_every=8)
+        return run_torture(configs, schedules=SCHEDULES, seed=7, max_faults=3)
+
+    report = benchmark.pedantic(campaign, rounds=3, iterations=1)
+    assert report.ok, "\n".join(v.format() for v in report.violations)
+    if not benchmark.stats:  # --benchmark-disable: no timing to report
+        return
+    rate = report.schedules / max(benchmark.stats["mean"], 1e-9)
+    with capsys.disabled():
+        print(
+            "\n-- EXP-C9 torture rate: %.0f schedules/s "
+            "(%d crashes, %d faults fired, %d records lost) --"
+            % (
+                rate,
+                report.crashes,
+                report.faults_fired,
+                report.counters.records_lost,
+            )
+        )
+    assert rate > 1  # sanity floor; typical rates are in the hundreds
+
+
+@pytest.mark.experiment("EXP-C9")
+def test_negative_control_still_detected(benchmark):
+    """Throughput without teeth is meaningless: the planted bug must fail."""
+
+    def buggy():
+        configs = [
+            TortureConfig("bank", "DU", bug="skip-commit-force"),
+            TortureConfig("bank", "UIP", bug="skip-commit-force"),
+        ]
+        return run_torture(configs, schedules=8, seed=0)
+
+    report = benchmark.pedantic(buggy, rounds=1, iterations=1)
+    assert not report.ok
+    assert any(
+        v.invariant in ("lost-commit", "restart-state")
+        for v in report.violations
+    )

@@ -18,62 +18,28 @@ Commands
 ``compare <workload>``
     Run the concurrency comparison for one workload
     (hotspot/escrow/semiqueue/fifo/set/register) and print the table.
+``torture``
+    Run the crash-schedule torture suite: workloads under deterministic
+    fault injection (crashes at every log interaction, torn forces,
+    transient IO errors), auditing the recovery invariants after every
+    restart.  ``--inject-bug skip-commit-force`` runs the negative
+    control, which must be *detected* (exit 1).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Optional
 
 from .adts import (
     BankAccount,
-    Counter,
     EscrowAccount,
     FifoQueue,
-    KVStore,
-    PriorityQueue,
     Register,
     SemiQueue,
     SetADT,
-    Stack,
 )
-
-#: name -> factory taking the object name.
-ADT_REGISTRY: Dict[str, Callable[[str], object]] = {
-    "bank": lambda name: BankAccount(name),
-    "counter": lambda name: Counter(name),
-    "register": lambda name: Register(name),
-    "set": lambda name: SetADT(name),
-    "kv": lambda name: KVStore(name),
-    "pqueue": lambda name: PriorityQueue(name),
-    "fifo": lambda name: FifoQueue(name),
-    "semiqueue": lambda name: SemiQueue(name),
-    "stack": lambda name: Stack(name),
-    "escrow": lambda name: EscrowAccount(name),
-}
-
-#: default object names per ADT kind (match the classes' defaults).
-DEFAULT_NAMES = {
-    "bank": "BA",
-    "counter": "CTR",
-    "register": "REG",
-    "set": "SET",
-    "kv": "KV",
-    "pqueue": "PQ",
-    "fifo": "Q",
-    "semiqueue": "SQ",
-    "stack": "ST",
-    "escrow": "ESC",
-}
-
-
-def make_adt(kind: str, name: Optional[str] = None):
-    if kind not in ADT_REGISTRY:
-        raise SystemExit(
-            "unknown ADT %r (choose from: %s)" % (kind, ", ".join(sorted(ADT_REGISTRY)))
-        )
-    return ADT_REGISTRY[kind](name or DEFAULT_NAMES[kind])
+from .adts.registry import ADT_REGISTRY, DEFAULT_NAMES, make_adt
 
 
 def cmd_adts(_args) -> int:
@@ -288,6 +254,43 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_torture(args) -> int:
+    from .runtime.faults import RetryPolicy
+    from .runtime.torture import configs_for, run_torture
+
+    if args.adt == "all":
+        adt_kinds = sorted(ADT_REGISTRY)
+    else:
+        kinds = [k.strip() for k in args.adt.split(",") if k.strip()]
+        for kind in kinds:
+            if kind not in ADT_REGISTRY:
+                raise SystemExit(
+                    "unknown ADT %r (choose from: %s)"
+                    % (kind, ", ".join(sorted(ADT_REGISTRY)))
+                )
+        adt_kinds = kinds
+    methods = {"both": ("DU", "UIP"), "du": ("DU",), "uip": ("UIP",)}[
+        args.recovery
+    ]
+    configs = configs_for(
+        adt_kinds,
+        methods,
+        transactions=args.transactions,
+        ops_per_txn=args.ops,
+        checkpoint_every=args.checkpoint_every,
+        bug=args.inject_bug,
+    )
+    report = run_torture(
+        configs,
+        schedules=args.schedules,
+        seed=args.seed,
+        max_faults=args.max_faults,
+        retry=RetryPolicy(max_retries=args.max_retries),
+    )
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -343,6 +346,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops", type=int, default=3)
     p.add_argument("--opening", type=int, default=100)
     p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "torture", help="run the crash-schedule torture suite"
+    )
+    p.add_argument(
+        "--adt",
+        default="all",
+        help="comma-separated ADT kinds, or 'all' (default)",
+    )
+    p.add_argument(
+        "--recovery",
+        choices=["both", "du", "uip"],
+        default="both",
+        help="recovery methods to torture (default: both)",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--schedules",
+        type=int,
+        default=500,
+        help="total fault schedules, round-robin over the config matrix",
+    )
+    p.add_argument("--transactions", type=int, default=4)
+    p.add_argument("--ops", type=int, default=2)
+    p.add_argument(
+        "--max-faults",
+        type=int,
+        default=2,
+        help="faults per sampled schedule",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="transient IO-error retry budget before escalating to a crash",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        metavar="TICKS",
+        help="attempt quiescent checkpoints every TICKS scheduler ticks",
+    )
+    p.add_argument(
+        "--inject-bug",
+        choices=["skip-commit-force"],
+        default=None,
+        help="negative control: plant a recovery bug the audit must flag",
+    )
+    p.set_defaults(func=cmd_torture)
 
     return parser
 

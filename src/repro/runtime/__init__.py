@@ -17,8 +17,23 @@ from .errors import (
     TransactionAborted,
     UnknownObjectError,
 )
+from .faults import (
+    CrashPoint,
+    FaultEvent,
+    FaultPlan,
+    FaultyStableLog,
+    RetryPolicy,
+    TransientLogIOError,
+    enumerate_crash_plans,
+)
 from .lock_manager import LockManager, WaitsForGraph
-from .metrics import MetricsSummary, RunMetrics, format_summary_table, summarize
+from .metrics import (
+    FaultCounters,
+    MetricsSummary,
+    RunMetrics,
+    format_summary_table,
+    summarize,
+)
 from .optimistic import OptimisticObject, OptimisticSystem, run_optimistic
 from .recovery import (
     DeferredUpdateManager,
@@ -29,9 +44,19 @@ from .recovery import (
 )
 from .scheduler import Scheduler, TransactionScript, run_scripts
 from .system import ManagedObject, OperationOutcome, TransactionSystem
+from .torture import (
+    TortureConfig,
+    TortureReport,
+    Violation,
+    audit_recovery,
+    configs_for,
+    run_schedule,
+    run_torture,
+)
 from .wal import RedoOnlyLog, StableLog, UndoRedoLog
 from .workloads import (
     escrow_workload,
+    generic_workload,
     hotspot_banking,
     mixed_transfers,
     producer_consumer,
@@ -72,6 +97,22 @@ __all__ = [
     "producer_consumer",
     "set_membership_workload",
     "mixed_transfers",
+    "generic_workload",
+    "CrashPoint",
+    "TransientLogIOError",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultyStableLog",
+    "RetryPolicy",
+    "FaultCounters",
+    "enumerate_crash_plans",
+    "TortureConfig",
+    "TortureReport",
+    "Violation",
+    "audit_recovery",
+    "configs_for",
+    "run_schedule",
+    "run_torture",
     "RuntimeModelError",
     "TransactionAborted",
     "DeadlockDetected",

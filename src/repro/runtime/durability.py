@@ -48,13 +48,15 @@ class DurableObject(ManagedObject):
         *,
         uip_strategy: str = "auto",
         restart_policy: str = "replay-winners",
+        log_factory=None,
     ):
         super().__init__(adt, conflict, recovery, uip_strategy=uip_strategy)
         self._recovery_method = recovery.upper()
+        log = log_factory() if log_factory is not None else None
         if self._recovery_method == "UIP":
-            self.wal = UndoRedoLog(adt, restart_policy=restart_policy)
+            self.wal = UndoRedoLog(adt, restart_policy=restart_policy, log=log)
         else:
-            self.wal = RedoOnlyLog(adt)
+            self.wal = RedoOnlyLog(adt, log=log)
         self.crashes = 0
 
     # -- logging hooks wrapped around the volatile path --------------------------
@@ -68,14 +70,30 @@ class DurableObject(ManagedObject):
             self.wal.on_execute(txn, outcome.operation)
         return outcome
 
+    def prepare(self, txn: str) -> bool:
+        """2PC vote, made durable: a yes vote forces the transaction's
+        log traffic (UIP operation records; DU intentions as a
+        :class:`~repro.runtime.wal.PrepareRecord`) so the commit point
+        can be completed at recovery no matter where a crash lands."""
+        vote = super().prepare(txn)
+        if vote:
+            if isinstance(self.wal, RedoOnlyLog):
+                self.wal.on_prepare(txn, self.recovery.intentions_of(txn))
+            else:
+                self.wal.on_prepare(txn)
+        return vote
+
     def commit(self, txn: str) -> None:
+        # Durable commit point first, volatile completion second: if the
+        # log write crashes, no commit event exists and the transaction
+        # is recovered by the presence/absence of its durable record
+        # alone — recovery completes, never retracts.
         if isinstance(self.wal, RedoOnlyLog):
             intentions = self.recovery.intentions_of(txn)
-            super().commit(txn)
             self.wal.on_commit(txn, intentions)
         else:
-            super().commit(txn)
             self.wal.on_commit(txn)
+        super().commit(txn)
 
     def abort(self, txn: str) -> None:
         had_events = txn in {e.txn for e in self._events}
@@ -119,7 +137,32 @@ class DurableObject(ManagedObject):
         from ..core.events import abort as abort_event
 
         self._pending.pop(txn, None)
-        self._events.append(abort_event(self.name, txn))
+        # A crash can interrupt a volatile abort after its event was
+        # recorded; don't abort twice.
+        if not any(e.txn == txn and e.is_abort for e in self._events):
+            self._events.append(abort_event(self.name, txn))
+
+    def crash_commit(self, txn: str) -> None:
+        """Complete a commit interrupted by a crash.
+
+        Called at recovery when the transaction's commit point (a
+        durable commit record at *some* object it touched) was reached
+        before the crash: ensure this object also carries a durable
+        commit record and the commit event, so restart replays the
+        transaction as a winner everywhere.  The prepare phase forced
+        this object's operation records / intentions, so the replay has
+        everything it needs.
+        """
+        from ..core.events import commit as commit_event
+
+        if not self.wal.has_durable_commit(txn):
+            self.wal.recovery_commit(txn)
+        has_commit_event = any(
+            e.txn == txn and e.is_commit for e in self._events
+        )
+        if not has_commit_event:
+            self._events.append(commit_event(self.name, txn))
+        self._pending.pop(txn, None)
 
     def crash_and_restart(self) -> None:
         """Lose all volatile state; rebuild from the stable log.
@@ -153,27 +196,56 @@ class CrashableSystem(TransactionSystem):
         self.crash_count = 0
 
     def crash(self) -> Set[str]:
-        """Whole-system crash: kill all in-flight transactions, restart.
+        """Whole-system crash: lose storage tails, resolve in-doubt
+        commits, kill the rest, restart every object.
 
-        No undo is performed and no log records are written for the
-        victims — volatile state simply vanishes and each object's
-        restart procedure rebuilds the committed state from its stable
-        log.  Abort *events* are appended for the victims so that the
-        (bookkeeping) history remains well formed and auditable.
+        The crash protocol, in order:
 
-        Returns the set of transactions killed by the crash.
+        1. mirror any object-local events the interrupted call never
+           reported into the global history (the crash may have unwound
+           ``invoke``/``commit`` mid-flight);
+        2. every stable log loses its volatile tail (no-op for the base
+           durable-on-append log; :class:`~repro.runtime.faults.FaultyStableLog`
+           drops unforced records per the fault that fired);
+        3. **in-doubt resolution**: a transaction interrupted during the
+           commit protocol is committed iff its commit point — a durable
+           commit record at at least one object it touched — was
+           reached; if so, the commit is *completed* at its remaining
+           objects (durable commit record + commit event), never
+           retracted where it already happened;
+        4. every other in-flight transaction is killed: no undo, no log
+           records, just the abort events that keep the bookkeeping
+           history well formed and auditable;
+        5. every object loses its volatile state and restarts from its
+           stable log.
+
+        Returns the set of transactions killed by the crash (resolved
+        commits are *not* victims — their scripts finished).
         """
         self.crash_count += 1
-        victims: Set[str] = set()
+        self._sync_events()
         for obj in self.objects.values():
-            victims |= obj.in_flight()
-        victims = {t for t in victims if self.status(t) == "active"}
-        for txn in sorted(victims):
-            for name in sorted(self._touched.get(txn, ())):
-                obj = self.objects[name]
-                obj.crash_kill(txn)
-                self._events.append(obj._events[-1])
-            self._finished[txn] = "aborted"
+            obj.wal.log.crash()
+        candidates = [
+            txn for txn in self._touched if txn not in self._finished
+        ]
+        victims: Set[str] = set()
+        for txn in sorted(candidates):
+            touched = sorted(self._touched[txn])
+            reached_commit_point = any(
+                self.objects[name].wal.has_durable_commit(txn)
+                for name in touched
+            )
+            if reached_commit_point:
+                for name in touched:
+                    self.objects[name].crash_commit(txn)
+                self._finished[txn] = "committed"
+            else:
+                for name in touched:
+                    self.objects[name].crash_kill(txn)
+                self._finished[txn] = "aborted"
+                victims.add(txn)
+        self._sync_events()
         for obj in self.objects.values():
             obj.crash_and_restart()
         return victims
@@ -198,6 +270,17 @@ def run_with_crashes(
     """
     from .scheduler import Scheduler
 
+    crashes = 0
+
+    def crash_on_schedule(tick: int) -> bool:
+        nonlocal crashes
+        if crash_every and tick % crash_every == 0:
+            victims = system.crash()
+            crashes += 1
+            scheduler.handle_crash(victims, tick)
+            return True
+        return False
+
     scheduler = Scheduler(
         system,
         scripts,
@@ -205,31 +288,7 @@ def run_with_crashes(
         label=label,
         max_restarts=max_restarts,
         max_ticks=max_ticks,
+        on_tick=crash_on_schedule,
     )
-    crashes = 0
-
-    original_tick = scheduler._tick
-
-    def tick_with_crashes(tick, live):
-        nonlocal crashes
-        progressed = original_tick(tick, live)
-        if crash_every and tick % crash_every == 0:
-            victims = system.crash()
-            crashes += 1
-            for entry in scheduler._live:
-                if entry.txn in victims:
-                    scheduler.metrics.aborted += 1
-                    scheduler._waits.remove_transaction(entry.txn)
-                    entry.restarts += 1
-                    if entry.restarts <= scheduler.max_restarts:
-                        scheduler.metrics.restarts += 1
-                        entry.txn = "%s~r%d" % (entry.script.name, entry.restarts)
-                        entry.step = 0
-                        entry.born_tick = tick
-            scheduler._waits = type(scheduler._waits)()
-            progressed = True
-        return progressed
-
-    scheduler._tick = tick_with_crashes
     metrics = scheduler.run()
     return metrics, crashes

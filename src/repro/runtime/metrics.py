@@ -10,8 +10,32 @@ and ``blocked_attempts`` the raw amount of lock contention.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+
+@dataclass
+class FaultCounters:
+    """Counters for injected storage faults (see :mod:`repro.runtime.faults`).
+
+    One instance is shared by every :class:`~repro.runtime.faults.FaultyStableLog`
+    of a system under test, so the totals describe the whole run.
+    """
+
+    crashes: int = 0  # crash points that fired (process deaths)
+    io_errors: int = 0  # transient IO failures injected
+    io_retries: int = 0  # retries the bounded-retry policy performed
+    backoff_ticks: int = 0  # simulated backoff cost of those retries
+    torn_forces: int = 0  # forces torn mid-flush (partial tail made durable)
+    records_lost: int = 0  # appended records that never reached stable storage
+
+    def merge(self, other: "FaultCounters") -> None:
+        self.crashes += other.crashes
+        self.io_errors += other.io_errors
+        self.io_retries += other.io_retries
+        self.backoff_ticks += other.backoff_ticks
+        self.torn_forces += other.torn_forces
+        self.records_lost += other.records_lost
 
 
 @dataclass
@@ -27,6 +51,8 @@ class RunMetrics:
     operations: int = 0
     blocked_attempts: int = 0
     stuck_aborts: int = 0
+    #: present when the run executed under fault injection.
+    faults: Optional[FaultCounters] = None
 
     @property
     def throughput(self) -> float:

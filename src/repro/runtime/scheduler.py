@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
 from ..core.events import Invocation
 from .errors import InvalidTransactionState
@@ -75,6 +75,7 @@ class Scheduler:
         max_restarts: int = 25,
         max_ticks: int = 100_000,
         label: str = "",
+        on_tick=None,
     ):
         names = [s.name for s in scripts]
         if len(set(names)) != len(names):
@@ -85,6 +86,10 @@ class Scheduler:
         self.max_restarts = max_restarts
         self.max_ticks = max_ticks
         self.metrics = RunMetrics(label=label)
+        #: optional hook called as ``on_tick(tick)`` after each pass; a
+        #: truthy return counts as progress (crash injectors, periodic
+        #: checkpoints and the like hang off this).
+        self.on_tick = on_tick
         self._live: List[_LiveTxn] = [
             _LiveTxn(script=s, txn=s.name) for s in scripts
         ]
@@ -100,6 +105,8 @@ class Scheduler:
                 break
             self.metrics.ticks = tick
             progressed = self._tick(tick, live)
+            if self.on_tick is not None:
+                progressed = bool(self.on_tick(tick)) or progressed
             if not progressed:
                 self._break_deadlock(tick, live)
         else:
@@ -107,6 +114,30 @@ class Scheduler:
                 "scheduler did not converge within %d ticks" % self.max_ticks
             )
         return self.metrics
+
+    def handle_crash(self, victims, tick: Optional[int] = None) -> None:
+        """Reset script instances whose transaction died in a crash.
+
+        The system has already performed its crash protocol (the victims
+        are aborted there); this is the scheduler-side bookkeeping —
+        dead incarnations restart as fresh transactions, like deadlock
+        victims, and the waits-for graph (volatile lock state) is
+        discarded.  Safe to call after :class:`Scheduler.run` was
+        unwound by a :class:`~repro.runtime.faults.CrashPoint`: the next
+        ``run()`` resumes the surviving scripts.
+        """
+        tick = tick if tick is not None else self.metrics.ticks
+        for entry in self._live:
+            if entry.txn in victims:
+                self.metrics.aborted += 1
+                entry.restarts += 1
+                if entry.restarts <= self.max_restarts:
+                    self.metrics.restarts += 1
+                    entry.txn = "%s~r%d" % (entry.script.name, entry.restarts)
+                    entry.step = 0
+                    entry.born_tick = tick
+                    entry.wait_for = frozenset()
+        self._waits = WaitsForGraph()
 
     def _is_retired(self, live: _LiveTxn) -> bool:
         """Finished successfully, or out of restart budget."""

@@ -176,6 +176,26 @@ class TransactionSystem:
         self._touched: Dict[str, Set[str]] = {}
         self._finished: Dict[str, str] = {}  # txn -> "committed" | "aborted"
         self._events: List[Event] = []
+        #: per-object count of events already mirrored into the global
+        #: history; lets a crash handler reconcile events an interrupted
+        #: call recorded at the object but never reported.
+        self._mirrored: Dict[str, int] = {name: 0 for name in self.objects}
+
+    def _sync_events(self, name: Optional[str] = None) -> None:
+        """Mirror unreported object-local events into the global history.
+
+        During normal operation only one object records events between
+        syncs, so true execution order is preserved; after a crash
+        unwinds a call mid-flight, this picks up the stragglers before
+        the crash protocol appends its own events.
+        """
+        names = (name,) if name is not None else tuple(self.objects)
+        for n in names:
+            obj = self.objects[n]
+            start = self._mirrored[n]
+            if start < len(obj._events):
+                self._events.extend(obj._events[start:])
+                self._mirrored[n] = len(obj._events)
 
     # -- introspection ------------------------------------------------------------
 
@@ -204,10 +224,9 @@ class TransactionSystem:
         """Attempt one operation; records the events at both scopes."""
         self._require_active(txn)
         obj = self.object(obj_name)
-        before = len(obj._events)
-        outcome = obj.try_operation(txn, invocation, rng)
-        self._events.extend(obj._events[before:])
         self._touched.setdefault(txn, set()).add(obj_name)
+        outcome = obj.try_operation(txn, invocation, rng)
+        self._sync_events(obj_name)
         return outcome
 
     def commit(self, txn: str) -> bool:
@@ -226,7 +245,7 @@ class TransactionSystem:
         for name in touched:
             obj = self.object(name)
             obj.commit(txn)
-            self._events.append(obj._events[-1])
+            self._sync_events(name)
         self._finished[txn] = "committed"
         return True
 
@@ -235,7 +254,7 @@ class TransactionSystem:
         for name in sorted(self._touched.get(txn, ())):
             obj = self.object(name)
             obj.abort(txn)
-            self._events.append(obj._events[-1])
+            self._sync_events(name)
         self._finished[txn] = "aborted"
 
     def _require_active(self, txn: str) -> None:

@@ -1,0 +1,480 @@
+"""The crash-schedule torture harness.
+
+Runs the existing workload generators (:mod:`repro.runtime.workloads`)
+under the scheduler against :class:`~repro.runtime.durability.CrashableSystem`
+instances whose stable logs are :class:`~repro.runtime.faults.FaultyStableLog`
+wrappers, enumerating or seed-sampling crash schedules.  After every
+crash — and once more at the end of each schedule, via a final clean
+crash — the harness restarts the system and audits three invariants:
+
+1. **restart state** — every object's restored state equals the abstract
+   view of the post-crash history:
+   ``restart() == states_after(View(H_post_crash, fresh_txn))``
+   with the UIP or DU view matching the object's recovery method;
+2. **dynamic atomicity** — the surviving global history (crash-killed
+   transactions appear as aborts, crash-resolved commits as commits)
+   still passes :func:`repro.core.atomicity.is_dynamic_atomic`;
+3. **durability accounting** — reading the record-fate archive that
+   survives truncation: every committed transaction with effects at an
+   object has a *durable* commit marker there (commits are never lost),
+   and no durable commit marker belongs to a transaction that did not
+   commit (aborted or in-flight effects never resurface).
+
+The harness carries its own **negative control**: constructing the
+system with ``bug="skip-commit-force"`` makes every log acknowledge
+``force()`` without flushing — silently breaking the write-ahead commit
+rule — and the same audit must then report violations.  A torture run
+that cannot flag the planted bug proves nothing about the absence of
+real ones.
+
+Everything is deterministic: a report is reproducible from
+``(seed, schedules, config)`` alone, and each violation prints the
+``FaultPlan`` description needed to replay just that schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..adts.registry import make_adt
+from ..core.atomicity import TooManyOrdersError, is_dynamic_atomic
+from ..core.views import DU, UIP
+from .durability import CrashableSystem, DurableObject
+from .faults import CrashPoint, FaultPlan, FaultyStableLog, RetryPolicy
+from .metrics import FaultCounters
+from .scheduler import Scheduler
+from .wal import CommitRecord, IntentionsRecord
+from .workloads import (
+    escrow_workload,
+    generic_workload,
+    hotspot_banking,
+    producer_consumer,
+    set_membership_workload,
+)
+
+#: The fresh-transaction name used to take the abstract view at audit time.
+PROBE = "__probe__"
+
+#: Stable-log record types that mark a commit point.
+COMMIT_MARKERS = (CommitRecord, IntentionsRecord)
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TortureConfig:
+    """One (ADT, recovery method, workload shape) under torture."""
+
+    adt_kind: str
+    recovery: str = "DU"  # "UIP" | "DU"
+    restart_policy: str = "replay-winners"  # UIP only
+    transactions: int = 4
+    ops_per_txn: int = 2
+    max_restarts: int = 8
+    max_ticks: int = 20_000
+    checkpoint_every: int = 0  # ticks between checkpoint attempts; 0 = never
+    bug: Optional[str] = None  # "skip-commit-force" enables the negative control
+
+    def label(self) -> str:
+        if self.recovery == "UIP":
+            return "%s/UIP/%s" % (self.adt_kind, self.restart_policy)
+        return "%s/DU" % self.adt_kind
+
+
+def configs_for(
+    adt_kinds: Sequence[str],
+    recovery_methods: Sequence[str] = ("DU", "UIP"),
+    **overrides,
+) -> List[TortureConfig]:
+    """The config matrix: every ADT × recovery method × restart policy.
+
+    UIP contributes both restart policies where the ADT supports logical
+    undo, only ``replay-winners`` otherwise; DU has a single restart
+    algorithm.
+    """
+    configs = []
+    for kind in adt_kinds:
+        adt = make_adt(kind)
+        for method in recovery_methods:
+            if method == "DU":
+                configs.append(
+                    TortureConfig(kind, "DU", **overrides)
+                )
+            else:
+                policies = ["replay-winners"]
+                if adt.supports_logical_undo:
+                    policies.append("redo-undo")
+                for policy in policies:
+                    configs.append(
+                        TortureConfig(
+                            kind, "UIP", restart_policy=policy, **overrides
+                        )
+                    )
+    return configs
+
+
+def workload_for(config: TortureConfig, adt, rng: random.Random):
+    """Scripts for the config: the ADT's purpose-built generator when one
+    exists, the generic alphabet-sampling workload otherwise."""
+    kind = config.adt_kind
+    name = adt.name
+    txns, ops = config.transactions, config.ops_per_txn
+    if kind == "bank":
+        return hotspot_banking(rng, obj=name, transactions=txns, ops_per_txn=ops)
+    if kind == "escrow":
+        return escrow_workload(rng, obj=name, transactions=txns, ops_per_txn=ops)
+    if kind in ("fifo", "semiqueue"):
+        producers = max(1, txns // 2)
+        return producer_consumer(
+            rng,
+            obj=name,
+            producers=producers,
+            consumers=max(1, txns - producers),
+            ops_per_txn=ops,
+        )
+    if kind == "set":
+        return set_membership_workload(
+            rng, obj=name, transactions=txns, ops_per_txn=ops
+        )
+    return generic_workload(adt, rng, obj=name, transactions=txns, ops_per_txn=ops)
+
+
+def build_system(
+    config: TortureConfig,
+    plan: FaultPlan,
+    counters: Optional[FaultCounters] = None,
+) -> Tuple[CrashableSystem, object]:
+    """A single-object crashable system wired to the fault plan."""
+    adt = make_adt(config.adt_kind)
+    conflict = (
+        adt.nrbc_conflict() if config.recovery == "UIP" else adt.nfc_conflict()
+    )
+    counters = counters if counters is not None else FaultCounters()
+    skip = config.bug == "skip-commit-force"
+    obj = DurableObject(
+        adt,
+        conflict,
+        config.recovery,
+        restart_policy=config.restart_policy,
+        log_factory=lambda: FaultyStableLog(
+            plan, counters=counters, skip_commit_force=skip
+        ),
+    )
+    return CrashableSystem([obj]), adt
+
+
+# ---------------------------------------------------------------------------
+# the auditor
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One invariant breach, carrying everything needed to replay it."""
+
+    config: str
+    schedule: str
+    invariant: str  # "restart-state" | "dynamic-atomicity" | "lost-commit" | "resurrection"
+    detail: str
+
+    def format(self) -> str:
+        return "[%s] %s: %s  (schedule: %s)" % (
+            self.config,
+            self.invariant,
+            self.detail,
+            self.schedule,
+        )
+
+
+def audit_recovery(
+    system: CrashableSystem,
+    config: TortureConfig,
+    schedule: str,
+) -> List[Violation]:
+    """Check the three torture invariants on a freshly restarted system."""
+    violations: List[Violation] = []
+    label = config.label()
+    specs = {name: obj.adt for name, obj in system.objects.items()}
+    for name, obj in sorted(system.objects.items()):
+        history = obj.history()
+        view = UIP if obj._recovery_method == "UIP" else DU
+
+        # 1. restart state == abstract view of the post-crash history.
+        expected = obj.adt.states_after(view(history, PROBE))
+        actual = obj.recovery.macro(PROBE)
+        if actual != expected:
+            violations.append(
+                Violation(
+                    label,
+                    schedule,
+                    "restart-state",
+                    "%s restored %r but %s view gives %r"
+                    % (name, sorted(map(repr, actual)), view.name,
+                       sorted(map(repr, expected))),
+                )
+            )
+
+        # 3. durability accounting, from the record-fate archive.
+        log = obj.wal.log
+        if isinstance(log, FaultyStableLog):
+            marker_fates: Dict[str, set] = {}
+            for record, fate in log.archive():
+                if isinstance(record, COMMIT_MARKERS):
+                    marker_fates.setdefault(record.txn, set()).add(fate)
+            committed = history.committed()
+            for txn in sorted(committed):
+                if not history.operations_of(txn):
+                    continue  # read-free and write-free here: nothing to lose
+                if "durable" not in marker_fates.get(txn, set()):
+                    violations.append(
+                        Violation(
+                            label,
+                            schedule,
+                            "lost-commit",
+                            "committed %s has no durable commit marker at %s "
+                            "(fates: %s)"
+                            % (txn, name,
+                               sorted(marker_fates.get(txn, {"none"}))),
+                        )
+                    )
+            for txn in sorted(marker_fates):
+                if "durable" in marker_fates[txn] and txn not in committed:
+                    violations.append(
+                        Violation(
+                            label,
+                            schedule,
+                            "resurrection",
+                            "durable commit marker for %s at %s but the "
+                            "transaction did not commit" % (txn, name),
+                        )
+                    )
+
+    # 2. the surviving global history is dynamic atomic.
+    try:
+        if not is_dynamic_atomic(system.history(), specs):
+            violations.append(
+                Violation(
+                    label,
+                    schedule,
+                    "dynamic-atomicity",
+                    "post-crash global history is not dynamic atomic",
+                )
+            )
+    except TooManyOrdersError:
+        pass  # combinatorial blowup: the other two invariants still ran
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# running one schedule
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one workload run under one fault plan."""
+
+    config: str
+    schedule: str
+    violations: List[Violation]
+    crashes: int
+    committed: int
+    faults_fired: int
+
+
+def run_schedule(
+    config: TortureConfig,
+    plan: FaultPlan,
+    *,
+    seed: int = 0,
+    counters: Optional[FaultCounters] = None,
+) -> ScheduleResult:
+    """Drive one workload under one fault plan, auditing every recovery.
+
+    The scheduler runs until every script commits or retires; each
+    :class:`~repro.runtime.faults.CrashPoint` the plan raises triggers
+    the whole-system crash protocol, an audit, and scheduler-side
+    restart of the killed scripts.  A final clean crash re-audits the
+    end state so schedules whose faults never fired (or were absorbed as
+    IO errors) still exercise restart.
+    """
+    counters = counters if counters is not None else FaultCounters()
+    system, adt = build_system(config, plan, counters)
+    scripts = workload_for(config, adt, random.Random(seed))
+    schedule = plan.describe()
+    violations: List[Violation] = []
+
+    def maybe_checkpoint(tick: int) -> bool:
+        if config.checkpoint_every and tick % config.checkpoint_every == 0:
+            for obj in system.objects.values():
+                # UIP checkpoints need quiescence; skip busy objects.
+                if not obj.locks.holders() and len(obj.wal.log):
+                    obj.checkpoint()
+        return False
+
+    scheduler = Scheduler(
+        system,
+        scripts,
+        seed=seed,
+        max_restarts=config.max_restarts,
+        max_ticks=config.max_ticks,
+        label=config.label(),
+        on_tick=maybe_checkpoint if config.checkpoint_every else None,
+    )
+    while True:
+        try:
+            scheduler.run()
+            break
+        except CrashPoint:
+            victims = system.crash()
+            violations.extend(audit_recovery(system, config, schedule))
+            scheduler.handle_crash(victims)
+    # Final clean crash: even a fault-free schedule must restart cleanly.
+    system.crash()
+    violations.extend(audit_recovery(system, config, schedule))
+    scheduler.metrics.faults = counters
+    return ScheduleResult(
+        config=config.label(),
+        schedule=schedule,
+        violations=violations,
+        crashes=system.crash_count,
+        committed=scheduler.metrics.committed,
+        faults_fired=len(plan.fired),
+    )
+
+
+def profile_horizon(config: TortureConfig, *, seed: int = 0) -> int:
+    """How many log interactions a fault-free run of the config performs.
+
+    Sampled fault plans draw their indexes from this horizon, so every
+    fault lands on an interaction the workload actually reaches.
+    """
+    plan = FaultPlan(seed=seed)
+    counters = FaultCounters()
+    system, adt = build_system(config, plan, counters)
+    scripts = workload_for(config, adt, random.Random(seed))
+    Scheduler(
+        system,
+        scripts,
+        seed=seed,
+        max_restarts=config.max_restarts,
+        max_ticks=config.max_ticks,
+    ).run()
+    return max(1, plan.clock)
+
+
+# ---------------------------------------------------------------------------
+# the torture campaign
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TortureReport:
+    """Aggregate outcome of a torture campaign (deterministic to format)."""
+
+    seed: int
+    schedules: int = 0
+    crashes: int = 0
+    committed: int = 0
+    faults_fired: int = 0
+    violations: List[Violation] = field(default_factory=list)
+    per_config: Dict[str, int] = field(default_factory=dict)
+    counters: FaultCounters = field(default_factory=FaultCounters)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def format(self) -> str:
+        lines = [
+            "torture: %d schedules, %d crashes, %d commits, %d faults fired (seed=%d)"
+            % (
+                self.schedules,
+                self.crashes,
+                self.committed,
+                self.faults_fired,
+                self.seed,
+            ),
+            "faults: %d io-errors (%d retried, %d backoff ticks), "
+            "%d torn forces, %d records lost"
+            % (
+                self.counters.io_errors,
+                self.counters.io_retries,
+                self.counters.backoff_ticks,
+                self.counters.torn_forces,
+                self.counters.records_lost,
+            ),
+        ]
+        for label in sorted(self.per_config):
+            lines.append("  %-28s %4d schedules" % (label, self.per_config[label]))
+        if self.violations:
+            lines.append("VIOLATIONS (%d):" % len(self.violations))
+            for v in self.violations:
+                lines.append("  " + v.format())
+        else:
+            lines.append("all invariants held")
+        return "\n".join(lines)
+
+
+def run_torture(
+    configs: Sequence[TortureConfig],
+    *,
+    schedules: int,
+    seed: int = 0,
+    max_faults: int = 2,
+    retry: Optional[RetryPolicy] = None,
+) -> TortureReport:
+    """Run ``schedules`` fault schedules round-robin over the configs.
+
+    Schedule *i* goes to ``configs[i % len(configs)]``; per-schedule
+    fault plans are drawn from a single master RNG seeded with ``seed``,
+    so the whole campaign replays from ``(configs, schedules, seed)``.
+    Two out of three schedules per config advance a *systematic sweep* —
+    single crashes placed at each interaction index in turn, alternating
+    before/after-append placement — and the third is a *sampled*
+    multi-fault plan over the config's profiled interaction horizon
+    (torn forces, IO-error bursts, fault combinations).
+    """
+    if not configs:
+        raise ValueError("no torture configs")
+    master = random.Random(seed)
+    report = TortureReport(seed=seed)
+    horizons = {c.label(): profile_horizon(c, seed=seed) for c in configs}
+    sweep_pos: Dict[str, int] = {c.label(): 0 for c in configs}
+    for i in range(schedules):
+        config = configs[i % len(configs)]
+        label = config.label()
+        horizon = horizons[label]
+        round_number = i // len(configs)
+        pos = sweep_pos[label]
+        if round_number % 3 != 2 and pos < 2 * horizon:
+            kind = (
+                "crash-after-append" if pos % 2 == 0 else "crash-before-append"
+            )
+            plan = FaultPlan.crash_at(
+                pos // 2, kind, seed=master.randrange(2**31)
+            )
+            if retry is not None:
+                plan.retry = retry
+            sweep_pos[label] = pos + 1
+        else:
+            plan = FaultPlan.sample(
+                master, horizon, max_faults=max_faults, retry=retry
+            )
+        result = run_schedule(
+            config, plan, seed=master.randrange(2**31), counters=report.counters
+        )
+        report.schedules += 1
+        report.crashes += result.crashes
+        report.committed += result.committed
+        report.faults_fired += result.faults_fired
+        report.violations.extend(result.violations)
+        report.per_config[result.config] = (
+            report.per_config.get(result.config, 0) + 1
+        )
+    return report

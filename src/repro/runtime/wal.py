@@ -88,6 +88,21 @@ class IntentionsRecord(LogRecord):
 
 
 @dataclass(frozen=True)
+class PrepareRecord(LogRecord):
+    """DU prepare record: the intentions list, forced at prepare time.
+
+    Written by the two-phase commit path so the transaction's effects
+    are durable *before* any commit record exists anywhere — the commit
+    point can then be completed at recovery even if the crash interrupts
+    the commit phase.  A :class:`CommitRecord` seals it; a dangling
+    prepare (no commit record) is presumed aborted at restart.
+    """
+
+    txn: str = ""
+    operations: Tuple[Operation, ...] = ()
+
+
+@dataclass(frozen=True)
 class CheckpointRecord(LogRecord):
     """A stable snapshot of the object's macro-state.
 
@@ -128,6 +143,19 @@ class StableLog:
         self._records = kept
         return dropped
 
+    def crash(self) -> int:
+        """Lose any volatile buffer; returns records lost.
+
+        The base log is durable-on-append, so a crash loses nothing.
+        :class:`~repro.runtime.faults.FaultyStableLog` models the
+        volatile tail and overrides this.
+        """
+        return 0
+
+    def recovery_append(self, make_record) -> LogRecord:
+        """Append durably during recovery (fault injection does not apply)."""
+        return self.append(make_record)
+
     def __len__(self) -> int:
         return len(self._records)
 
@@ -135,7 +163,13 @@ class StableLog:
 class UndoRedoLog:
     """Write-ahead logging for update-in-place recovery."""
 
-    def __init__(self, adt: ADT, *, restart_policy: str = "replay-winners"):
+    def __init__(
+        self,
+        adt: ADT,
+        *,
+        restart_policy: str = "replay-winners",
+        log: StableLog = None,
+    ):
         if restart_policy not in ("replay-winners", "redo-undo"):
             raise ValueError("unknown restart policy %r" % restart_policy)
         if restart_policy == "redo-undo" and not adt.supports_logical_undo:
@@ -145,7 +179,7 @@ class UndoRedoLog:
             )
         self.adt = adt
         self.restart_policy = restart_policy
-        self.log = StableLog()
+        self.log = log if log is not None else StableLog()
 
     # -- normal operation ----------------------------------------------------
 
@@ -155,12 +189,31 @@ class UndoRedoLog:
             lambda lsn: OperationRecord(lsn, txn=txn, operation=operation)
         )
 
+    def on_prepare(self, txn: str) -> None:
+        """2PC vote: force the log so the transaction's operation records
+        are durable before any object writes its commit record."""
+        self.log.force()
+
     def on_commit(self, txn: str) -> None:
         self.log.append(lambda lsn: CommitRecord(lsn, txn=txn))
         self.log.force()
 
     def on_abort(self, txn: str) -> None:
         self.log.append(lambda lsn: AbortRecord(lsn, txn=txn))
+
+    # -- crash-recovery support ----------------------------------------------
+
+    def has_durable_commit(self, txn: str) -> bool:
+        """True iff the transaction's commit record survives on stable
+        storage (call after :meth:`StableLog.crash`)."""
+        return any(
+            isinstance(r, CommitRecord) and r.txn == txn
+            for r in self.log.records()
+        )
+
+    def recovery_commit(self, txn: str) -> None:
+        """Complete a commit whose commit point was reached elsewhere."""
+        self.log.recovery_append(lambda lsn: CommitRecord(lsn, txn=txn))
 
     def checkpoint(self, committed_macro: MacroState) -> None:
         """Write a snapshot of committed state and truncate the log."""
@@ -173,7 +226,33 @@ class UndoRedoLog:
     # -- restart ----------------------------------------------------------------
 
     def restart(self) -> MacroState:
-        """Rebuild the committed state from stable storage."""
+        """Rebuild the committed state from stable storage.
+
+        Ends by durably checkpointing the restored state (when any
+        records needed replaying): a crash leaves loser transactions'
+        operation records behind with no abort record, and a *later*
+        restart repeating that history would re-apply dead effects into
+        a log whose post-recovery records assume the committed state —
+        the recovery checkpoint seals them off, playing the role of
+        ARIES compensation records.
+        """
+        macro = self._replay()
+        if self._tail_length():
+            self.log.recovery_append(
+                lambda lsn: CheckpointRecord(lsn, macro=macro)
+            )
+        return macro
+
+    def _tail_length(self) -> int:
+        """Records after the last checkpoint."""
+        records = self.log.records()
+        start = 0
+        for i, record in enumerate(records):
+            if isinstance(record, CheckpointRecord):
+                start = i + 1
+        return len(records) - start
+
+    def _replay(self) -> MacroState:
         records = self.log.records()
         start_macro = self.adt.initial_macro_state()
         start_index = 0
@@ -224,25 +303,51 @@ class UndoRedoLog:
 
 
 class RedoOnlyLog:
-    """Redo-only logging for deferred-update recovery."""
+    """Redo-only logging for deferred-update recovery.
 
-    def __init__(self, adt: ADT):
+    Two commit shapes coexist:
+
+    * **single-shot** (an object committing outside two-phase commit):
+      one forced :class:`IntentionsRecord` carries the whole intentions
+      list — the classic DU commit;
+    * **prepared** (the 2PC path): prepare forces a
+      :class:`PrepareRecord` with the intentions, commit forces a small
+      :class:`CommitRecord` sealing it.  Restart replays only sealed
+      prepares, in commit-record order; dangling prepares are presumed
+      aborted.
+    """
+
+    def __init__(self, adt: ADT, *, log: StableLog = None):
         self.adt = adt
-        self.log = StableLog()
+        self.log = log if log is not None else StableLog()
+        self._prepared: Set[str] = set()
 
     def on_execute(self, txn: str, operation: Operation) -> None:
         """Intentions are volatile until commit: no log traffic."""
 
-    def on_commit(self, txn: str, intentions: Sequence[Operation]) -> None:
+    def on_prepare(self, txn: str, intentions: Sequence[Operation]) -> None:
+        """2PC vote: persist the intentions list before the commit point."""
         self.log.append(
-            lambda lsn: IntentionsRecord(
-                lsn, txn=txn, operations=tuple(intentions)
-            )
+            lambda lsn: PrepareRecord(lsn, txn=txn, operations=tuple(intentions))
         )
+        self.log.force()
+        self._prepared.add(txn)
+
+    def on_commit(self, txn: str, intentions: Sequence[Operation]) -> None:
+        if txn in self._prepared:
+            self._prepared.discard(txn)
+            self.log.append(lambda lsn: CommitRecord(lsn, txn=txn))
+        else:
+            self.log.append(
+                lambda lsn: IntentionsRecord(
+                    lsn, txn=txn, operations=tuple(intentions)
+                )
+            )
         self.log.force()
 
     def on_abort(self, txn: str) -> None:
         """Nothing: the volatile intentions list simply disappears."""
+        self._prepared.discard(txn)
 
     def checkpoint(self, committed_macro: MacroState) -> None:
         record = self.log.append(
@@ -251,12 +356,33 @@ class RedoOnlyLog:
         self.log.force()
         self.log.truncate_before(record.lsn)
 
+    # -- crash-recovery support ----------------------------------------------
+
+    def has_durable_commit(self, txn: str) -> bool:
+        """True iff a commit point record for ``txn`` survives on stable
+        storage (either commit shape; call after :meth:`StableLog.crash`)."""
+        return any(
+            isinstance(r, (CommitRecord, IntentionsRecord)) and r.txn == txn
+            for r in self.log.records()
+        )
+
+    def recovery_commit(self, txn: str) -> None:
+        """Seal a durable prepare whose commit point was reached elsewhere."""
+        self.log.recovery_append(lambda lsn: CommitRecord(lsn, txn=txn))
+
     def restart(self) -> MacroState:
+        self._prepared.clear()  # volatile bookkeeping died with the process
         macro = self.adt.initial_macro_state()
+        prepared: dict = {}
         for record in self.log.records():
             if isinstance(record, CheckpointRecord):
                 macro = record.macro
+            elif isinstance(record, PrepareRecord):
+                prepared[record.txn] = record.operations
             elif isinstance(record, IntentionsRecord):
                 for operation in record.operations:
+                    macro = self.adt.step_macro(macro, operation)
+            elif isinstance(record, CommitRecord):
+                for operation in prepared.pop(record.txn, ()):
                     macro = self.adt.step_macro(macro, operation)
         return macro

@@ -129,6 +129,29 @@ def set_membership_workload(
     return scripts
 
 
+def generic_workload(
+    adt,
+    rng: random.Random,
+    *,
+    obj: str = None,
+    transactions: int = 8,
+    ops_per_txn: int = 3,
+) -> List[TransactionScript]:
+    """Uniform random invocations drawn from the ADT's own alphabet.
+
+    The fallback generator for ADTs without a purpose-built workload:
+    every step samples ``adt.invocation_alphabet()`` uniformly, which
+    exercises each operation kind the type offers.
+    """
+    obj = obj if obj is not None else adt.name
+    alphabet = list(adt.invocation_alphabet())
+    scripts = []
+    for t in range(transactions):
+        steps = [(obj, rng.choice(alphabet)) for _ in range(ops_per_txn)]
+        scripts.append(_script("T%d" % t, steps))
+    return scripts
+
+
 def mixed_transfers(
     rng: random.Random,
     *,

@@ -1,0 +1,108 @@
+"""CLI tests for ``repro torture``: exit codes, knobs, reproducibility."""
+
+from repro.cli import main
+
+
+def run(argv, capsys):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+class TestTortureCommand:
+    def test_clean_run_exits_zero(self, capsys):
+        code, out = run(
+            ["torture", "--adt", "bank", "--schedules", "12", "--seed", "3"],
+            capsys,
+        )
+        assert code == 0
+        assert "all invariants held" in out
+        assert "12 schedules" in out
+
+    def test_schedules_flag_is_honored(self, capsys):
+        _, out = run(
+            ["torture", "--adt", "counter", "--schedules", "7"], capsys
+        )
+        assert "torture: 7 schedules" in out
+
+    def test_recovery_filter(self, capsys):
+        _, out = run(
+            [
+                "torture",
+                "--adt",
+                "bank",
+                "--recovery",
+                "du",
+                "--schedules",
+                "4",
+            ],
+            capsys,
+        )
+        assert "bank/DU" in out
+        assert "UIP" not in out
+
+    def test_adt_list_builds_matrix(self, capsys):
+        _, out = run(
+            ["torture", "--adt", "bank,fifo", "--schedules", "10"], capsys
+        )
+        # bank supports logical undo (3 configs); fifo does not (2).
+        for label in (
+            "bank/DU",
+            "bank/UIP/replay-winners",
+            "bank/UIP/redo-undo",
+            "fifo/DU",
+            "fifo/UIP/replay-winners",
+        ):
+            assert label in out
+
+    def test_unknown_adt_rejected(self, capsys):
+        try:
+            main(["torture", "--adt", "btree", "--schedules", "1"])
+        except SystemExit as exc:
+            assert "btree" in str(exc)
+        else:
+            raise AssertionError("unknown ADT was accepted")
+
+    def test_same_seed_is_reproducible(self, capsys):
+        argv = ["torture", "--adt", "set", "--schedules", "9", "--seed", "77"]
+        _, first = run(argv, capsys)
+        _, second = run(argv, capsys)
+        assert first == second
+
+    def test_different_seeds_differ(self, capsys):
+        base = ["torture", "--adt", "bank", "--schedules", "15"]
+        _, a = run(base + ["--seed", "1"], capsys)
+        _, b = run(base + ["--seed", "2"], capsys)
+        assert a != b
+
+    def test_negative_control_exits_one(self, capsys):
+        code, out = run(
+            [
+                "torture",
+                "--adt",
+                "bank",
+                "--schedules",
+                "6",
+                "--inject-bug",
+                "skip-commit-force",
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "VIOLATIONS" in out
+        assert "schedule:" in out  # each violation names its fault plan
+
+    def test_checkpoint_knob(self, capsys):
+        code, out = run(
+            [
+                "torture",
+                "--adt",
+                "escrow",
+                "--schedules",
+                "8",
+                "--checkpoint-every",
+                "5",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "all invariants held" in out
