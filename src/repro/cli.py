@@ -18,6 +18,10 @@ Commands
 ``compare <workload>``
     Run the concurrency comparison for one workload
     (hotspot/escrow/semiqueue/fifo/set/register) and print the table.
+``run <adt>``
+    Run one workload on a durable (crash-capable) system and print run
+    metrics, including the group-commit force accounting
+    (``--group-commit N --hold T`` coalesces log forces into batches).
 ``torture``
     Run the crash-schedule torture suite: workloads under deterministic
     fault injection (crashes at every log interaction, torn forces,
@@ -254,10 +258,69 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def _check_group_commit_args(args) -> None:
+    """Clean CLI errors for the group-commit knobs (shared by run/torture)."""
+    if args.group_commit < 1:
+        raise SystemExit("--group-commit must be >= 1 (got %d)" % args.group_commit)
+    if args.hold < 0:
+        raise SystemExit("--hold must be >= 0 (got %d)" % args.hold)
+
+
+def cmd_run(args) -> int:
+    """Run one workload on a durable (crash-capable) system and report
+    run metrics including the group-commit force accounting."""
+    import random
+
+    from .runtime.durability import CrashableSystem, DurableObject
+    from .runtime.scheduler import Scheduler
+    from .runtime.torture import TortureConfig, workload_for
+    from .runtime.wal import GroupCommitPolicy, StableLog
+
+    if args.adt not in ADT_REGISTRY:
+        raise SystemExit(
+            "unknown ADT %r (choose from: %s)"
+            % (args.adt, ", ".join(sorted(ADT_REGISTRY)))
+        )
+    _check_group_commit_args(args)
+    recovery = args.recovery.upper()
+    config = TortureConfig(
+        args.adt,
+        recovery,
+        transactions=args.transactions,
+        ops_per_txn=args.ops,
+        group_commit=args.group_commit,
+        hold=args.hold,
+    )
+    adt = make_adt(args.adt)
+    conflict = adt.nrbc_conflict() if recovery == "UIP" else adt.nfc_conflict()
+    policy = GroupCommitPolicy(args.group_commit, args.hold)
+    obj = DurableObject(
+        adt, conflict, recovery, log_factory=lambda: StableLog(policy=policy)
+    )
+    system = CrashableSystem([obj])
+    scripts = workload_for(config, adt, random.Random(args.seed))
+    metrics = Scheduler(
+        system, scripts, seed=args.seed, label=config.label()
+    ).run()
+    print("workload          : %s" % config.label())
+    print("group commit      : batch=%d hold=%d" % (args.group_commit, args.hold))
+    print("committed         : %d (aborted %d, deadlocks %d)"
+          % (metrics.committed, metrics.aborted, metrics.deadlocks))
+    print("ticks             : %d (throughput %.4f)"
+          % (metrics.ticks, metrics.throughput))
+    print("forces            : %d physical (%d requests, %d records flushed)"
+          % (metrics.forces, metrics.force_requests, metrics.forced_records))
+    print("avg batch size    : %.2f" % metrics.avg_batch_size)
+    print("forces/commit     : %.2f" % metrics.forces_per_commit)
+    print("commit stall ticks: %d" % metrics.commit_stall_ticks)
+    return 0
+
+
 def cmd_torture(args) -> int:
     from .runtime.faults import RetryPolicy
     from .runtime.torture import configs_for, run_torture
 
+    _check_group_commit_args(args)
     if args.adt == "all":
         adt_kinds = sorted(ADT_REGISTRY)
     else:
@@ -278,6 +341,8 @@ def cmd_torture(args) -> int:
         transactions=args.transactions,
         ops_per_txn=args.ops,
         checkpoint_every=args.checkpoint_every,
+        group_commit=args.group_commit,
+        hold=args.hold,
         bug=args.inject_bug,
     )
     report = run_torture(
@@ -348,6 +413,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
+        "run", help="run one workload on a durable system and print metrics"
+    )
+    p.add_argument("adt", help="ADT kind (see `repro adts`)")
+    p.add_argument(
+        "--recovery", choices=["du", "uip"], default="du", help="recovery method"
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--transactions", type=int, default=8)
+    p.add_argument("--ops", type=int, default=3)
+    p.add_argument(
+        "--group-commit",
+        type=int,
+        default=1,
+        metavar="N",
+        help="coalesce N log-force requests into one physical flush "
+        "(1 = classic per-commit force)",
+    )
+    p.add_argument(
+        "--hold",
+        type=int,
+        default=4,
+        metavar="T",
+        help="flush a short batch after T scheduler ticks anyway",
+    )
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
         "torture", help="run the crash-schedule torture suite"
     )
     p.add_argument(
@@ -388,6 +480,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="TICKS",
         help="attempt quiescent checkpoints every TICKS scheduler ticks",
+    )
+    p.add_argument(
+        "--group-commit",
+        type=int,
+        default=1,
+        metavar="N",
+        help="coalesce N log-force requests into one physical flush "
+        "(1 = classic per-commit force)",
+    )
+    p.add_argument(
+        "--hold",
+        type=int,
+        default=4,
+        metavar="T",
+        help="flush a short group-commit batch after T scheduler ticks anyway",
     )
     p.add_argument(
         "--inject-bug",

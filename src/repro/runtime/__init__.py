@@ -53,7 +53,7 @@ from .torture import (
     run_schedule,
     run_torture,
 )
-from .wal import RedoOnlyLog, StableLog, UndoRedoLog
+from .wal import GroupCommitPolicy, RedoOnlyLog, StableLog, UndoRedoLog
 from .workloads import (
     escrow_workload,
     generic_workload,
@@ -70,6 +70,7 @@ __all__ = [
     "CrashableSystem",
     "run_with_crashes",
     "StableLog",
+    "GroupCommitPolicy",
     "UndoRedoLog",
     "RedoOnlyLog",
     "OptimisticObject",

@@ -26,7 +26,7 @@ transaction aborted.
 
 from __future__ import annotations
 
-from typing import Sequence, Set
+from typing import Dict, Sequence, Set
 
 from ..adts.base import ADT
 from ..core.conflict import ConflictRelation
@@ -58,6 +58,9 @@ class DurableObject(ManagedObject):
         else:
             self.wal = RedoOnlyLog(adt, log=log)
         self.crashes = 0
+        #: per-transaction group-commit ticket of its latest durability
+        #: request (prepare force, then commit-record force).
+        self._force_tickets: Dict[str, int] = {}
 
     # -- logging hooks wrapped around the volatile path --------------------------
 
@@ -71,29 +74,62 @@ class DurableObject(ManagedObject):
         return outcome
 
     def prepare(self, txn: str) -> bool:
-        """2PC vote, made durable: a yes vote forces the transaction's
-        log traffic (UIP operation records; DU intentions as a
-        :class:`~repro.runtime.wal.PrepareRecord`) so the commit point
-        can be completed at recovery no matter where a crash lands."""
+        """2PC vote, made durable: a yes vote requests a flush of the
+        transaction's log traffic (UIP operation records; DU intentions
+        as a :class:`~repro.runtime.wal.PrepareRecord`) so the commit
+        point can be completed at recovery no matter where a crash
+        lands.  Under group commit the flush may be deferred into a
+        shared batch; :meth:`prepare_ready` reports when the vote's
+        durability has actually landed."""
         vote = super().prepare(txn)
         if vote:
             if isinstance(self.wal, RedoOnlyLog):
-                self.wal.on_prepare(txn, self.recovery.intentions_of(txn))
+                ticket = self.wal.on_prepare(txn, self.recovery.intentions_of(txn))
             else:
-                self.wal.on_prepare(txn)
+                ticket = self.wal.on_prepare(txn)
+            self._force_tickets[txn] = ticket
         return vote
 
-    def commit(self, txn: str) -> None:
-        # Durable commit point first, volatile completion second: if the
-        # log write crashes, no commit event exists and the transaction
-        # is recovered by the presence/absence of its durable record
-        # alone — recovery completes, never retracts.
+    def prepare_ready(self, txn: str) -> bool:
+        return self.wal.log.flushed(self._force_tickets.get(txn, 0))
+
+    def submit_commit(self, txn: str) -> None:
+        """Write the durable commit point; acknowledgment is deferred.
+
+        The commit record (or intentions record) is appended and its
+        flush requested, but no commit *event* exists yet: if the batch
+        is torn off by a crash, the transaction simply never committed
+        here, and the crash protocol resolves it from whatever record
+        actually reached stable storage — recovery completes, never
+        retracts.
+        """
         if isinstance(self.wal, RedoOnlyLog):
-            intentions = self.recovery.intentions_of(txn)
-            self.wal.on_commit(txn, intentions)
+            ticket = self.wal.on_commit(txn, self.recovery.intentions_of(txn))
         else:
-            self.wal.on_commit(txn)
-        super().commit(txn)
+            ticket = self.wal.on_commit(txn)
+        self._force_tickets[txn] = ticket
+
+    def commit_ready(self, txn: str) -> bool:
+        return self.wal.log.flushed(self._force_tickets.get(txn, 0))
+
+    def complete_commit(self, txn: str) -> None:
+        """Acknowledge a commit whose record's batch has flushed: release
+        locks, apply the volatile completion, record the commit event."""
+        self._force_tickets.pop(txn, None)
+        ManagedObject.commit(self, txn)
+
+    def commit(self, txn: str) -> None:
+        """Synchronous commit for direct object-level use: submit the
+        durable commit point and, if its batch is still held, force the
+        log so the acknowledgment-before-durability rule is preserved."""
+        self.submit_commit(txn)
+        if not self.commit_ready(txn):
+            self.wal.log.force()
+        self.complete_commit(txn)
+
+    def tick(self) -> None:
+        """Scheduler tick: drive the log's group-commit hold timer."""
+        self.wal.log.tick()
 
     def abort(self, txn: str) -> None:
         had_events = txn in {e.txn for e in self._events}
@@ -175,6 +211,7 @@ class DurableObject(ManagedObject):
         restored = self.wal.restart()
         self.locks = LockManager(self.conflict)
         self._pending = {}
+        self._force_tickets = {}  # group-commit tickets died with the process
         if self._recovery_method == "UIP":
             manager = UpdateInPlaceManager(
                 self.adt,
@@ -204,9 +241,12 @@ class CrashableSystem(TransactionSystem):
         1. mirror any object-local events the interrupted call never
            reported into the global history (the crash may have unwound
            ``invoke``/``commit`` mid-flight);
-        2. every stable log loses its volatile tail (no-op for the base
-           durable-on-append log; :class:`~repro.runtime.faults.FaultyStableLog`
-           drops unforced records per the fault that fired);
+        2. every stable log loses its volatile tail — including any
+           *held group-commit batch*, whose records were appended but
+           never physically flushed (no-op for the base
+           durable-on-append log without batching;
+           :class:`~repro.runtime.faults.FaultyStableLog` drops
+           unforced records per the fault that fired);
         3. **in-doubt resolution**: a transaction interrupted during the
            commit protocol is committed iff its commit point — a durable
            commit record at at least one object it touched — was
@@ -224,6 +264,10 @@ class CrashableSystem(TransactionSystem):
         """
         self.crash_count += 1
         self._sync_events()
+        # Commit pipelines die with the process: a transaction that was
+        # waiting on a held batch is resolved below purely from whatever
+        # records its batch actually flushed.
+        self._committing.clear()
         for obj in self.objects.values():
             obj.wal.log.crash()
         candidates = [

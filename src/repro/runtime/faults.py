@@ -54,7 +54,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from .errors import RuntimeModelError
 from .metrics import FaultCounters
-from .wal import LogRecord, StableLog
+from .wal import GroupCommitPolicy, LogRecord, StableLog
 
 #: Fault kinds that kill the process at the interaction.
 CRASH_KINDS = (
@@ -263,8 +263,9 @@ class FaultyStableLog(StableLog):
         *,
         counters: Optional[FaultCounters] = None,
         skip_commit_force: bool = False,
+        policy: Optional[GroupCommitPolicy] = None,
     ):
-        super().__init__()
+        super().__init__(policy=policy)
         self.plan = plan
         self.counters = counters if counters is not None else FaultCounters()
         self.skip_commit_force = skip_commit_force
@@ -339,7 +340,15 @@ class FaultyStableLog(StableLog):
             raise CrashPoint("crash-after-append", self.plan.clock - 1, "append")
         return record
 
-    def force(self) -> None:
+    def _physical_force(self) -> None:
+        """One device flush, with fault injection.
+
+        A :class:`CrashPoint` raised here propagates *before* the
+        caller's flush sequence number advances, so a torn or crashed
+        flush satisfies no group-commit tickets: the commits riding the
+        batch are never acknowledged, and the crash protocol resolves
+        them from whichever records the tear actually persisted.
+        """
         if self.skip_commit_force:
             # Negative control: acknowledge without flushing anything.
             self.forces += 1
@@ -369,17 +378,26 @@ class FaultyStableLog(StableLog):
         self._durable = sum(
             1 for r in self._records if self._fates[r.lsn] == "durable"
         )
+        self._flushed = self._durable
         return dropped
 
     def _flush(self, durable_count: int) -> None:
         for record in self._records[self._durable : durable_count]:
             self._fates[record.lsn] = "durable"
+        self.forced_records += max(0, durable_count - self._durable)
         self._durable = durable_count
+        self._flushed = durable_count
 
     # -- crash / recovery ------------------------------------------------------
 
     def crash(self) -> int:
-        """Drop the volatile tail (the process died); returns records lost."""
+        """Drop the volatile tail (the process died); returns records lost.
+
+        A held group-commit batch is part of the volatile tail: its
+        records were appended but never physically flushed, so they die
+        here along with any pending force requests."""
+        self._pending_forces = 0
+        self._hold_ticks = 0
         lost = self._records[self._durable :]
         for record in lost:
             self._fates[record.lsn] = "lost"
@@ -392,10 +410,11 @@ class FaultyStableLog(StableLog):
         runs in a fresh process whose writes the schedule does not cover)."""
         self._in_recovery = True
         try:
-            record = super().append(make_record)
+            record = StableLog.append(self, make_record)
             self._fates[record.lsn] = "durable"
             self._archive.append(record)
             self._durable = len(self._records)
+            self._flushed = self._durable
             return record
         finally:
             self._in_recovery = False

@@ -10,7 +10,7 @@ and ``blocked_attempts`` the raw amount of lock contention.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence, Tuple
 
 
@@ -30,12 +30,14 @@ class FaultCounters:
     records_lost: int = 0  # appended records that never reached stable storage
 
     def merge(self, other: "FaultCounters") -> None:
-        self.crashes += other.crashes
-        self.io_errors += other.io_errors
-        self.io_retries += other.io_retries
-        self.backoff_ticks += other.backoff_ticks
-        self.torn_forces += other.torn_forces
-        self.records_lost += other.records_lost
+        """Accumulate ``other`` into self, field by field (every counter
+        is additive, including ones added after this method was written)."""
+        for spec in fields(self):
+            setattr(
+                self,
+                spec.name,
+                getattr(self, spec.name) + getattr(other, spec.name),
+            )
 
 
 @dataclass
@@ -51,6 +53,16 @@ class RunMetrics:
     operations: int = 0
     blocked_attempts: int = 0
     stuck_aborts: int = 0
+    #: force accounting (group commit): physical log flushes across every
+    #: stable log of the system, the logical force *requests* they served,
+    #: and the records they made durable.  With batch size 1 every request
+    #: is its own flush, so ``forces == force_requests``.
+    forces: int = 0
+    force_requests: int = 0
+    forced_records: int = 0
+    #: ticks finished transactions spent waiting for their commit batch
+    #: to flush (the acknowledgment latency group commit trades away).
+    commit_stall_ticks: int = 0
     #: present when the run executed under fault injection.
     faults: Optional[FaultCounters] = None
 
@@ -60,6 +72,20 @@ class RunMetrics:
         if self.ticks == 0:
             return 0.0
         return self.committed / self.ticks
+
+    @property
+    def avg_batch_size(self) -> float:
+        """Force requests coalesced per physical flush (1.0 = no batching)."""
+        if self.forces == 0:
+            return 0.0
+        return self.force_requests / self.forces
+
+    @property
+    def forces_per_commit(self) -> float:
+        """Physical flushes per committed transaction (the FORCE cost)."""
+        if self.committed == 0:
+            return 0.0
+        return self.forces / self.committed
 
     @property
     def abort_rate(self) -> float:

@@ -107,13 +107,29 @@ class Scheduler:
             progressed = self._tick(tick, live)
             if self.on_tick is not None:
                 progressed = bool(self.on_tick(tick)) or progressed
+            # Drive durability hold-timers: a held group-commit batch
+            # flushes deterministically once its hold window expires.
+            system_tick = getattr(self.system, "tick", None)
+            if system_tick is not None:
+                system_tick()
             if not progressed:
                 self._break_deadlock(tick, live)
         else:
             raise RuntimeError(
                 "scheduler did not converge within %d ticks" % self.max_ticks
             )
+        self._harvest_force_accounting()
         return self.metrics
+
+    def _harvest_force_accounting(self) -> None:
+        """Copy the system's cumulative log-force totals into the metrics."""
+        accounting = getattr(self.system, "force_accounting", None)
+        if accounting is None:
+            return
+        forces, requests, records = accounting()
+        self.metrics.forces = forces
+        self.metrics.force_requests = requests
+        self.metrics.forced_records = records
 
     def handle_crash(self, victims, tick: Optional[int] = None) -> None:
         """Reset script instances whose transaction died in a crash.
@@ -171,6 +187,13 @@ class Scheduler:
                 if self.system.commit(entry.txn):
                     self.metrics.committed += 1
                     self._waits.remove_transaction(entry.txn)
+                    progressed = True
+                elif self.system.status(entry.txn) == "active":
+                    # Group commit: the transaction's durable work sits
+                    # in a held batch.  That is a durability stall, not
+                    # a lock wait — the hold timer bounds it, so it
+                    # counts as progress (no deadlock victim needed).
+                    self.metrics.commit_stall_ticks += 1
                     progressed = True
                 continue
             obj_name, invocation = entry.script.steps[entry.step]

@@ -152,6 +152,30 @@ class ManagedObject:
         votes yes."""
         return txn not in self._pending
 
+    def prepare_ready(self, txn: str) -> bool:
+        """Has the prepare vote's durability work completed?  The volatile
+        base object performs none, so a yes vote is usable immediately;
+        :class:`~repro.runtime.durability.DurableObject` gates this on
+        the prepare-force ticket of its group-commit batch."""
+        return True
+
+    def submit_commit(self, txn: str) -> None:
+        """Begin the commit: write the durable commit point.  The base
+        object has no stable storage, so there is nothing to write."""
+
+    def commit_ready(self, txn: str) -> bool:
+        """Is the durable commit point on stable storage (so the commit
+        may be acknowledged)?  Trivially yes without a log."""
+        return True
+
+    def complete_commit(self, txn: str) -> None:
+        """Acknowledge the commit: release locks and record the event."""
+        self.commit(txn)
+
+    def tick(self) -> None:
+        """One scheduler tick elapsed (durability hold-timers hang off
+        this; the volatile base object has none)."""
+
     def commit(self, txn: str) -> None:
         self.locks.release_all(txn)
         self.recovery.on_commit(txn)
@@ -162,6 +186,15 @@ class ManagedObject:
         self.locks.release_all(txn)
         self.recovery.on_abort(txn)
         self._events.append(abort_event(self.name, txn))
+
+
+@dataclass
+class _PendingCommit:
+    """Commit-pipeline state for one transaction (group commit makes the
+    durable work asynchronous, so a commit may span several ticks)."""
+
+    touched: Tuple[str, ...]
+    phase: str  # "prepared" (waiting on prepare flushes) | "committing"
 
 
 class TransactionSystem:
@@ -175,6 +208,7 @@ class TransactionSystem:
             self.objects[obj.name] = obj
         self._touched: Dict[str, Set[str]] = {}
         self._finished: Dict[str, str] = {}  # txn -> "committed" | "aborted"
+        self._committing: Dict[str, _PendingCommit] = {}
         self._events: List[Event] = []
         #: per-object count of events already mirrored into the global
         #: history; lets a crash handler reconcile events an interrupted
@@ -235,22 +269,73 @@ class TransactionSystem:
         Returns False (and aborts the transaction) if any object votes no
         — which in this failure-free simulation only happens when the
         transaction still has a pending invocation somewhere.
+
+        Under group commit the durable work is asynchronous: prepare
+        votes and commit records ride shared log flushes, so the commit
+        may not complete in one call.  While the pipeline is waiting on
+        a held batch this returns False with the transaction still
+        ``active`` — poll again (the scheduler does, every tick) until
+        the batch flushes and the commit is acknowledged.  With the
+        default batch-size-1 policy every flush is immediate and one
+        call commits, exactly as before.
         """
-        self._require_active(txn)
-        touched = sorted(self._touched.get(txn, ()))
-        for name in touched:
-            if not self.object(name).prepare(txn):
-                self.abort(txn)
+        pending = self._committing.get(txn)
+        if pending is None:
+            self._require_active(txn)
+            touched = tuple(sorted(self._touched.get(txn, ())))
+            for name in touched:
+                if not self.object(name).prepare(txn):
+                    self.abort(txn)
+                    return False
+            pending = _PendingCommit(touched, "prepared")
+            self._committing[txn] = pending
+        return self._advance_commit(txn, pending)
+
+    def _advance_commit(self, txn: str, pending: _PendingCommit) -> bool:
+        """Drive the commit pipeline as far as durability allows."""
+        if pending.phase == "prepared":
+            if not all(
+                self.object(n).prepare_ready(txn) for n in pending.touched
+            ):
                 return False
-        for name in touched:
+            # Commit point first: the durable commit records are written
+            # (and their flushes requested) at every object before any
+            # commit *event* exists anywhere.
+            for name in pending.touched:
+                self.object(name).submit_commit(txn)
+            pending.phase = "committing"
+        if not all(self.object(n).commit_ready(txn) for n in pending.touched):
+            return False
+        for name in pending.touched:
             obj = self.object(name)
-            obj.commit(txn)
+            obj.complete_commit(txn)
             self._sync_events(name)
+        del self._committing[txn]
         self._finished[txn] = "committed"
         return True
 
+    def tick(self) -> None:
+        """One scheduler tick: advance every object's durability timers
+        (held group-commit batches flush deterministically on expiry)."""
+        for obj in self.objects.values():
+            obj.tick()
+
+    def force_accounting(self) -> Tuple[int, int, int]:
+        """Sum ``(forces, force_requests, forced_records)`` over every
+        stable log in the system (zero for volatile-only objects)."""
+        forces = requests = records = 0
+        for obj in self.objects.values():
+            log = getattr(getattr(obj, "wal", None), "log", None)
+            if log is None:
+                continue
+            forces += log.forces
+            requests += log.force_requests
+            records += log.forced_records
+        return forces, requests, records
+
     def abort(self, txn: str) -> None:
         self._require_active(txn)
+        self._committing.pop(txn, None)
         for name in sorted(self._touched.get(txn, ())):
             obj = self.object(name)
             obj.abort(txn)

@@ -45,7 +45,7 @@ from .durability import CrashableSystem, DurableObject
 from .faults import CrashPoint, FaultPlan, FaultyStableLog, RetryPolicy
 from .metrics import FaultCounters
 from .scheduler import Scheduler
-from .wal import CommitRecord, IntentionsRecord
+from .wal import CommitRecord, GroupCommitPolicy, IntentionsRecord
 from .workloads import (
     escrow_workload,
     generic_workload,
@@ -78,12 +78,19 @@ class TortureConfig:
     max_restarts: int = 8
     max_ticks: int = 20_000
     checkpoint_every: int = 0  # ticks between checkpoint attempts; 0 = never
+    group_commit: int = 1  # force-request batch size (1 = classic per-commit force)
+    hold: int = 0  # max ticks a short batch is held before flushing anyway
     bug: Optional[str] = None  # "skip-commit-force" enables the negative control
 
     def label(self) -> str:
-        if self.recovery == "UIP":
-            return "%s/UIP/%s" % (self.adt_kind, self.restart_policy)
-        return "%s/DU" % self.adt_kind
+        base = (
+            "%s/UIP/%s" % (self.adt_kind, self.restart_policy)
+            if self.recovery == "UIP"
+            else "%s/DU" % self.adt_kind
+        )
+        if self.group_commit > 1:
+            base += "/gc%d" % self.group_commit
+        return base
 
 
 def configs_for(
@@ -156,13 +163,14 @@ def build_system(
     )
     counters = counters if counters is not None else FaultCounters()
     skip = config.bug == "skip-commit-force"
+    policy = GroupCommitPolicy(config.group_commit, config.hold)
     obj = DurableObject(
         adt,
         conflict,
         config.recovery,
         restart_policy=config.restart_policy,
         log_factory=lambda: FaultyStableLog(
-            plan, counters=counters, skip_commit_force=skip
+            plan, counters=counters, skip_commit_force=skip, policy=policy
         ),
     )
     return CrashableSystem([obj]), adt

@@ -37,6 +37,17 @@ Crashing is modeled at the object level by
 level by :class:`~repro.runtime.durability.CrashableSystem`; a crash
 aborts every in-flight transaction (their abort events make the
 post-crash history well formed and auditable by the core checkers).
+
+**Group commit** (:class:`GroupCommitPolicy`): the FORCE discipline
+above costs one physical flush per prepare and per commit.  The stable
+log therefore separates the durability *request*
+(:meth:`StableLog.request_force`, which returns a ticket) from the
+physical flush (batch full, hold-timer expiry, or an explicit
+:meth:`StableLog.force`), letting concurrent transactions share one
+flush.  Correctness is preserved by the acknowledgment rule: a commit
+event may only be emitted once the ticket of its commit record's batch
+is satisfied — commit-point-first ordering with the commit point simply
+riding a shared flush.
 """
 
 from __future__ import annotations
@@ -48,6 +59,41 @@ from ..adts.base import ADT
 from ..core.events import Operation
 
 MacroState = FrozenSet
+
+
+@dataclass(frozen=True)
+class GroupCommitPolicy:
+    """When do ``force()`` requests reach the platter?
+
+    * ``batch_size`` — a physical flush fires as soon as this many force
+      requests have coalesced into the held batch;
+    * ``max_hold`` — a short batch flushes anyway once this many
+      scheduler ticks have passed since the first request joined it
+      (``0`` = flush on the next tick boundary), so a lone committer is
+      never parked indefinitely waiting for company.
+
+    ``batch_size=1`` flushes every request immediately and reproduces
+    the classic one-force-per-commit discipline byte for byte: the same
+    physical flushes at the same interaction points, and appends stay
+    durable-on-append in the base log.  Any larger batch size makes
+    durability *asynchronous* relative to the request: the caller gets a
+    ticket (see :meth:`StableLog.request_force`) and must not
+    acknowledge its commit until the ticket's batch has flushed.
+    """
+
+    batch_size: int = 1
+    max_hold: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_hold < 0:
+            raise ValueError("max_hold must be >= 0")
+
+    @property
+    def is_batching(self) -> bool:
+        """True when force requests may be held (durability is deferred)."""
+        return self.batch_size > 1
 
 
 @dataclass(frozen=True)
@@ -115,12 +161,31 @@ class CheckpointRecord(LogRecord):
 
 
 class StableLog:
-    """An append-only, crash-surviving record list with truncation."""
+    """An append-only, crash-surviving record list with truncation.
 
-    def __init__(self) -> None:
+    Durability is requested through the **group-commit engine**: callers
+    that need the buffered tail on stable storage call
+    :meth:`request_force` and receive a *ticket*; the physical flush
+    happens when the held batch reaches ``policy.batch_size`` requests
+    or when the hold timer (driven by the scheduler via :meth:`tick`)
+    expires, whichever comes first.  :meth:`flushed` answers whether a
+    ticket's batch has completed — only then may the requester
+    acknowledge whatever the flush was protecting.  With the default
+    policy every request flushes immediately, which is exactly the old
+    one-``force()``-per-commit behavior.
+    """
+
+    def __init__(self, *, policy: GroupCommitPolicy = None) -> None:
         self._records: List[LogRecord] = []
         self._next_lsn = 0
-        self.forces = 0  # counts synchronous flushes (a cost model hook)
+        self.policy = policy if policy is not None else GroupCommitPolicy()
+        self.forces = 0  # physical flushes (the cost-model headline)
+        self.force_requests = 0  # logical durability requests
+        self.forced_records = 0  # records newly covered by a physical flush
+        self._flushed = 0  # records[:_flushed] covered by a physical flush
+        self._pending_forces = 0  # requests waiting in the held batch
+        self._hold_ticks = 0  # ticks the held batch has been waiting
+        self._flush_seq = 0  # completed physical flushes (the ticket clock)
 
     def append(self, make_record) -> LogRecord:
         """Append ``make_record(lsn)``; returns the record."""
@@ -129,9 +194,60 @@ class StableLog:
         self._next_lsn += 1
         return record
 
+    # -- group commit ---------------------------------------------------------
+
+    def request_force(self) -> int:
+        """Join the held batch; returns the ticket its flush will satisfy.
+
+        The ticket is satisfied (:meth:`flushed`) once the batch's
+        physical flush completes — which may be immediately (the batch
+        filled), on a later :meth:`tick` (hold timer expiry), or via an
+        explicit :meth:`force`.  Callers must not acknowledge a commit
+        whose ticket is still unsatisfied.
+        """
+        self.force_requests += 1
+        self._pending_forces += 1
+        ticket = self._flush_seq + 1
+        if self._pending_forces >= self.policy.batch_size:
+            self.force()
+        return ticket
+
+    def flushed(self, ticket: int) -> bool:
+        """Has the physical flush satisfying ``ticket`` completed?"""
+        return ticket <= self._flush_seq
+
+    def tick(self) -> None:
+        """Advance the hold timer one scheduler tick; flush expired batches."""
+        if self._pending_forces == 0:
+            return
+        self._hold_ticks += 1
+        if self._hold_ticks > self.policy.max_hold:
+            self.force()
+
+    def held_batch_size(self) -> int:
+        """Force requests currently waiting in the held batch."""
+        return self._pending_forces
+
     def force(self) -> None:
-        """A synchronous flush (the log is always durable here; we count)."""
+        """A synchronous physical flush, absorbing any held batch.
+
+        The flush sequence number advances only after the physical flush
+        returns: a flush torn by a crash satisfies **no** tickets, so no
+        commit riding the batch is ever acknowledged ahead of its
+        durability.
+        """
+        self._pending_forces = 0
+        self._hold_ticks = 0
+        self._physical_force()
+        self._flush_seq += 1
+
+    def _physical_force(self) -> None:
+        """One device flush (the base log is in-memory; we only count)."""
+        self.forced_records += len(self._records) - self._flushed
+        self._flushed = len(self._records)
         self.forces += 1
+
+    # -- storage --------------------------------------------------------------
 
     def records(self) -> Tuple[LogRecord, ...]:
         return tuple(self._records)
@@ -141,20 +257,33 @@ class StableLog:
         kept = [r for r in self._records if r.lsn >= lsn]
         dropped = len(self._records) - len(kept)
         self._records = kept
+        self._flushed = max(0, self._flushed - dropped)
         return dropped
 
     def crash(self) -> int:
         """Lose any volatile buffer; returns records lost.
 
-        The base log is durable-on-append, so a crash loses nothing.
-        :class:`~repro.runtime.faults.FaultyStableLog` models the
-        volatile tail and overrides this.
+        The base log is durable-on-append under the default policy, so a
+        crash loses nothing.  When group commit holds batches
+        (``policy.is_batching``), records past the last physical flush
+        are the volatile tail and die with the process — exactly the
+        acknowledgment-vs-durability gap the ticket protocol exists to
+        police.  :class:`~repro.runtime.faults.FaultyStableLog` models
+        the full volatile tail and overrides this.
         """
-        return 0
+        self._pending_forces = 0
+        self._hold_ticks = 0
+        if not self.policy.is_batching:
+            return 0
+        lost = len(self._records) - self._flushed
+        self._records = self._records[: self._flushed]
+        return lost
 
     def recovery_append(self, make_record) -> LogRecord:
         """Append durably during recovery (fault injection does not apply)."""
-        return self.append(make_record)
+        record = self.append(make_record)
+        self._flushed = len(self._records)
+        return record
 
     def __len__(self) -> int:
         return len(self._records)
@@ -189,14 +318,20 @@ class UndoRedoLog:
             lambda lsn: OperationRecord(lsn, txn=txn, operation=operation)
         )
 
-    def on_prepare(self, txn: str) -> None:
-        """2PC vote: force the log so the transaction's operation records
-        are durable before any object writes its commit record."""
-        self.log.force()
+    def on_prepare(self, txn: str) -> int:
+        """2PC vote: request durability for the transaction's operation
+        records so they are on stable storage before any object writes
+        its commit record.  Returns the flush ticket; the vote is only
+        *usable* once :meth:`StableLog.flushed` says so."""
+        return self.log.request_force()
 
-    def on_commit(self, txn: str) -> None:
+    def on_commit(self, txn: str) -> int:
+        """Append the commit record and request its flush.  Returns the
+        ticket gating the commit acknowledgment: under group commit the
+        record may sit in a held batch, and the commit event must wait
+        for the batch's physical flush."""
         self.log.append(lambda lsn: CommitRecord(lsn, txn=txn))
-        self.log.force()
+        return self.log.request_force()
 
     def on_abort(self, txn: str) -> None:
         self.log.append(lambda lsn: AbortRecord(lsn, txn=txn))
@@ -325,15 +460,18 @@ class RedoOnlyLog:
     def on_execute(self, txn: str, operation: Operation) -> None:
         """Intentions are volatile until commit: no log traffic."""
 
-    def on_prepare(self, txn: str, intentions: Sequence[Operation]) -> None:
-        """2PC vote: persist the intentions list before the commit point."""
+    def on_prepare(self, txn: str, intentions: Sequence[Operation]) -> int:
+        """2PC vote: persist the intentions list before the commit point.
+        Returns the flush ticket gating the vote's durability."""
         self.log.append(
             lambda lsn: PrepareRecord(lsn, txn=txn, operations=tuple(intentions))
         )
-        self.log.force()
         self._prepared.add(txn)
+        return self.log.request_force()
 
-    def on_commit(self, txn: str, intentions: Sequence[Operation]) -> None:
+    def on_commit(self, txn: str, intentions: Sequence[Operation]) -> int:
+        """Append the commit-point record and request its flush; returns
+        the ticket gating the commit acknowledgment."""
         if txn in self._prepared:
             self._prepared.discard(txn)
             self.log.append(lambda lsn: CommitRecord(lsn, txn=txn))
@@ -343,7 +481,7 @@ class RedoOnlyLog:
                     lsn, txn=txn, operations=tuple(intentions)
                 )
             )
-        self.log.force()
+        return self.log.request_force()
 
     def on_abort(self, txn: str) -> None:
         """Nothing: the volatile intentions list simply disappears."""
