@@ -28,6 +28,12 @@ Commands
     transient IO errors), auditing the recovery invariants after every
     restart.  ``--inject-bug skip-commit-force`` runs the negative
     control, which must be *detected* (exit 1).
+``trace-report <t.jsonl>``
+    Validate and summarize a structured run trace written by
+    ``repro run --trace-out`` / ``repro torture --trace-out``: schema
+    check every line, reconcile the trace against the recorded
+    ``RunMetrics`` counters, and print commit-latency and contention
+    reports.  Exit 1 on any schema or reconciliation failure.
 """
 
 from __future__ import annotations
@@ -252,6 +258,8 @@ def cmd_compare(args) -> int:
             "unknown workload %r (choose from: %s)"
             % (args.workload, ", ".join(sorted(cases)))
         )
+    _check_workload_args(args)
+    _check_min(args, (("seeds", 1), ("opening", 0)))
     adt_factory, workload = cases[args.workload]
     summaries = compare(adt_factory, workload, seeds=tuple(range(args.seeds)))
     print(format_summary_table(summaries))
@@ -264,6 +272,23 @@ def _check_group_commit_args(args) -> None:
         raise SystemExit("--group-commit must be >= 1 (got %d)" % args.group_commit)
     if args.hold < 0:
         raise SystemExit("--hold must be >= 0 (got %d)" % args.hold)
+
+
+def _check_min(args, minimums) -> None:
+    """Clean CLI errors for numeric knobs: each (attr, floor) pair must
+    hold, else exit with the flag name spelled the way the user typed it."""
+    for attr, floor in minimums:
+        value = getattr(args, attr)
+        if value < floor:
+            raise SystemExit(
+                "--%s must be >= %d (got %d)"
+                % (attr.replace("_", "-"), floor, value)
+            )
+
+
+def _check_workload_args(args) -> None:
+    """Shared floors for the workload-shape knobs of run/compare/torture."""
+    _check_min(args, (("transactions", 1), ("ops", 1)))
 
 
 def cmd_run(args) -> int:
@@ -282,6 +307,7 @@ def cmd_run(args) -> int:
             % (args.adt, ", ".join(sorted(ADT_REGISTRY)))
         )
     _check_group_commit_args(args)
+    _check_workload_args(args)
     recovery = args.recovery.upper()
     config = TortureConfig(
         args.adt,
@@ -299,8 +325,13 @@ def cmd_run(args) -> int:
     )
     system = CrashableSystem([obj])
     scripts = workload_for(config, adt, random.Random(args.seed))
+    trace = None
+    if args.trace_out:
+        from .runtime.trace import TraceCollector
+
+        trace = TraceCollector()
     metrics = Scheduler(
-        system, scripts, seed=args.seed, label=config.label()
+        system, scripts, seed=args.seed, label=config.label(), trace=trace
     ).run()
     print("workload          : %s" % config.label())
     print("group commit      : batch=%d hold=%d" % (args.group_commit, args.hold))
@@ -313,6 +344,9 @@ def cmd_run(args) -> int:
     print("avg batch size    : %.2f" % metrics.avg_batch_size)
     print("forces/commit     : %.2f" % metrics.forces_per_commit)
     print("commit stall ticks: %d" % metrics.commit_stall_ticks)
+    if trace is not None:
+        count = trace.dump_jsonl(args.trace_out)
+        print("trace             : %d events -> %s" % (count, args.trace_out))
     return 0
 
 
@@ -321,6 +355,16 @@ def cmd_torture(args) -> int:
     from .runtime.torture import configs_for, run_torture
 
     _check_group_commit_args(args)
+    _check_workload_args(args)
+    _check_min(
+        args,
+        (
+            ("schedules", 1),
+            ("max_faults", 1),
+            ("max_retries", 0),
+            ("checkpoint_every", 0),
+        ),
+    )
     if args.adt == "all":
         adt_kinds = sorted(ADT_REGISTRY)
     else:
@@ -345,15 +389,45 @@ def cmd_torture(args) -> int:
         hold=args.hold,
         bug=args.inject_bug,
     )
+    trace = None
+    if args.trace_out:
+        from .runtime.trace import TraceCollector
+
+        trace = TraceCollector()
     report = run_torture(
         configs,
         schedules=args.schedules,
         seed=args.seed,
         max_faults=args.max_faults,
         retry=RetryPolicy(max_retries=args.max_retries),
+        trace=trace,
     )
     print(report.format())
+    if trace is not None:
+        count = trace.dump_jsonl(args.trace_out)
+        print("trace: %d events -> %s" % (count, args.trace_out))
     return 0 if report.ok else 1
+
+
+def cmd_trace_report(args) -> int:
+    """Summarize a JSONL trace: validate every line, reconcile the
+    reconstructed counters against the recorded RunMetrics, and print
+    the latency/contention report.  Exit 1 on schema or reconciliation
+    failure — the command doubles as the CI trace-smoke check."""
+    from .runtime.trace import format_trace_report, load_jsonl, reconcile
+
+    try:
+        events = load_jsonl(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("invalid trace %s: %s" % (args.trace, exc))
+    print(format_trace_report(events))
+    results = reconcile(events)
+    if any(not r.ok for r in results):
+        return 1
+    if args.strict and not results:
+        print("no completed run segment to reconcile (--strict)")
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -437,6 +511,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="T",
         help="flush a short batch after T scheduler ticks anyway",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the structured run trace as JSONL (see `repro trace-report`)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -502,7 +582,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="negative control: plant a recovery bug the audit must flag",
     )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the structured trace of every schedule as JSONL",
+    )
     p.set_defaults(func=cmd_torture)
+
+    p = sub.add_parser(
+        "trace-report",
+        help="validate and summarize a JSONL trace written by --trace-out",
+    )
+    p.add_argument("trace", help="path to the JSONL trace file")
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail when the trace contains no completed run segment",
+    )
+    p.set_defaults(func=cmd_trace_report)
 
     return parser
 

@@ -53,6 +53,20 @@ from .torture import (
     run_schedule,
     run_torture,
 )
+from .trace import (
+    EVENT_SCHEMA,
+    SCHEMA_VERSION,
+    ReconcileResult,
+    TraceCollector,
+    commit_latencies,
+    contention_profile,
+    format_trace_report,
+    latency_histogram,
+    load_jsonl,
+    reconcile,
+    reconstruct_counters,
+    validate_event,
+)
 from .wal import GroupCommitPolicy, RedoOnlyLog, StableLog, UndoRedoLog
 from .workloads import (
     escrow_workload,
@@ -91,6 +105,18 @@ __all__ = [
     "MetricsSummary",
     "summarize",
     "format_summary_table",
+    "TraceCollector",
+    "EVENT_SCHEMA",
+    "SCHEMA_VERSION",
+    "ReconcileResult",
+    "load_jsonl",
+    "validate_event",
+    "reconcile",
+    "reconstruct_counters",
+    "commit_latencies",
+    "latency_histogram",
+    "contention_profile",
+    "format_trace_report",
     "read_write_conflict",
     "invocation_conflict",
     "hotspot_banking",

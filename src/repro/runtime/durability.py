@@ -26,7 +26,7 @@ transaction aborted.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set
+from typing import Dict, List, Sequence, Set
 
 from ..adts.base import ADT
 from ..core.conflict import ConflictRelation
@@ -209,6 +209,10 @@ class DurableObject(ManagedObject):
         """
         self.crashes += 1
         restored = self.wal.restart()
+        if self.trace is not None:
+            self.trace.emit(
+                "recovery", obj=self.name, records=len(self.wal.log)
+            )
         self.locks = LockManager(self.conflict)
         self._pending = {}
         self._force_tickets = {}  # group-commit tickets died with the process
@@ -274,6 +278,7 @@ class CrashableSystem(TransactionSystem):
             txn for txn in self._touched if txn not in self._finished
         ]
         victims: Set[str] = set()
+        resolved: List[str] = []
         for txn in sorted(candidates):
             touched = sorted(self._touched[txn])
             reached_commit_point = any(
@@ -284,12 +289,17 @@ class CrashableSystem(TransactionSystem):
                 for name in touched:
                     self.objects[name].crash_commit(txn)
                 self._finished[txn] = "committed"
+                resolved.append(txn)
             else:
                 for name in touched:
                     self.objects[name].crash_kill(txn)
                 self._finished[txn] = "aborted"
                 victims.add(txn)
         self._sync_events()
+        if self.trace is not None:
+            self.trace.emit(
+                "crash", victims=sorted(victims), resolved=resolved
+            )
         for obj in self.objects.values():
             obj.crash_and_restart()
         return victims

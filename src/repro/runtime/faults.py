@@ -352,6 +352,13 @@ class FaultyStableLog(StableLog):
         if self.skip_commit_force:
             # Negative control: acknowledge without flushing anything.
             self.forces += 1
+            if self.trace is not None:
+                self.trace.emit(
+                    "force",
+                    obj=self.trace_name,
+                    served=self._last_batch,
+                    records=0,
+                )
             return
         action, event = self._interact("force")
         if action == "before":
@@ -364,9 +371,24 @@ class FaultyStableLog(StableLog):
             keep = max(0, min(keep, len(tail)))
             self._flush(self._durable + keep)
             self.counters.torn_forces += 1
+            # A torn flush persisted ``keep`` records but counts as no
+            # completed force — a distinct event kind, so trace-derived
+            # ``forced_records`` still reconciles.
+            if self.trace is not None:
+                self.trace.emit(
+                    "force-torn", obj=self.trace_name, records=keep
+                )
             raise CrashPoint("crash-during-force", self.plan.clock - 1, "force")
+        before = self.forced_records
         self._flush(len(self._records))
         self.forces += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "force",
+                obj=self.trace_name,
+                served=self._last_batch,
+                records=self.forced_records - before,
+            )
         if action == "after":
             raise CrashPoint("crash-during-force", self.plan.clock - 1, "force")
 
@@ -403,6 +425,8 @@ class FaultyStableLog(StableLog):
             self._fates[record.lsn] = "lost"
         self._records = self._records[: self._durable]
         self.counters.records_lost += len(lost)
+        if self.trace is not None:
+            self.trace.emit("log-crash", obj=self.trace_name, lost=len(lost))
         return len(lost)
 
     def recovery_append(self, make_record) -> LogRecord:

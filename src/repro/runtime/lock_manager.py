@@ -56,6 +56,26 @@ class LockManager:
                     break
         return frozenset(blocking)
 
+    def conflicting_holds(
+        self, txn: str, operation: Operation
+    ) -> Tuple[Tuple[str, Operation], ...]:
+        """Every ``(holder, held_operation)`` conflicting with ``operation``.
+
+        Unlike :meth:`blockers` this does not stop at the first
+        conflicting hold per transaction: the full list attributes a
+        blocked attempt to each conflict-table entry involved.  Only
+        called on the traced path (contention attribution), so the
+        extra work never touches untraced runs.
+        """
+        hits: List[Tuple[str, Operation]] = []
+        for other, ops in self._held.items():
+            if other == txn:
+                continue
+            for old in ops:
+                if self.conflict.conflicts(operation, old):
+                    hits.append((other, old))
+        return tuple(hits)
+
     def can_acquire(self, txn: str, operation: Operation) -> bool:
         """True iff ``operation`` conflicts with no other transaction's locks."""
         return not self.blockers(txn, operation)

@@ -11,7 +11,7 @@ and ``blocked_attempts`` the raw amount of lock contention.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -53,6 +53,11 @@ class RunMetrics:
     operations: int = 0
     blocked_attempts: int = 0
     stuck_aborts: int = 0
+    #: the subset of ``aborted`` caused by a whole-system crash killing
+    #: the transaction (torture runs); deadlock/stuck aborts are the
+    #: remainder, so crash pressure and contention pressure stay
+    #: distinguishable in reports.
+    crash_aborts: int = 0
     #: force accounting (group commit): physical log flushes across every
     #: stable log of the system, the logical force *requests* they served,
     #: and the records they made durable.  With batch size 1 every request
@@ -94,22 +99,44 @@ class RunMetrics:
             return 0.0
         return self.aborted / total
 
+    def counters(self) -> Dict[str, int]:
+        """Every integer counter, by field name (the reconciliation
+        surface for :func:`repro.runtime.trace.reconcile`)."""
+        return {
+            spec.name: getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.type == "int"
+        }
+
     def row(self) -> Tuple:
+        """Label, every counter, then throughput (kept last)."""
         return (
             self.label,
             self.ticks,
             self.committed,
             self.aborted,
+            self.crash_aborts,
             self.restarts,
             self.deadlocks,
+            self.operations,
             self.blocked_attempts,
+            self.stuck_aborts,
+            self.commit_stall_ticks,
+            self.forces,
+            self.force_requests,
+            self.forced_records,
             round(self.throughput, 4),
         )
 
 
 @dataclass
 class MetricsSummary:
-    """Mean/min/max aggregation of one metric across seeds."""
+    """Mean/min/max aggregation of one configuration across seeds.
+
+    Every :class:`RunMetrics` counter has a mean here — aggregation must
+    not lose counters (a regression test walks the fields to enforce
+    it) — and injected-fault counters merge additively into ``faults``.
+    """
 
     label: str
     runs: int
@@ -120,6 +147,17 @@ class MetricsSummary:
     mean_blocked: float
     mean_aborted: float
     mean_deadlocks: float
+    mean_committed: float = 0.0
+    mean_crash_aborts: float = 0.0
+    mean_restarts: float = 0.0
+    mean_operations: float = 0.0
+    mean_stuck_aborts: float = 0.0
+    mean_commit_stall_ticks: float = 0.0
+    mean_forces: float = 0.0
+    mean_force_requests: float = 0.0
+    mean_forced_records: float = 0.0
+    #: FaultCounters of every run merged (None when no run carried any).
+    faults: Optional[FaultCounters] = None
 
 
 def summarize(label: str, runs: Sequence[RunMetrics]) -> MetricsSummary:
@@ -127,41 +165,78 @@ def summarize(label: str, runs: Sequence[RunMetrics]) -> MetricsSummary:
     if not runs:
         raise ValueError("no runs to summarize")
     throughputs = [r.throughput for r in runs]
+
+    def mean(attr: str) -> float:
+        return sum(getattr(r, attr) for r in runs) / len(runs)
+
+    faults: Optional[FaultCounters] = None
+    for r in runs:
+        if r.faults is not None:
+            if faults is None:
+                faults = FaultCounters()
+            faults.merge(r.faults)
     return MetricsSummary(
         label=label,
         runs=len(runs),
         mean_throughput=sum(throughputs) / len(runs),
         min_throughput=min(throughputs),
         max_throughput=max(throughputs),
-        mean_ticks=sum(r.ticks for r in runs) / len(runs),
-        mean_blocked=sum(r.blocked_attempts for r in runs) / len(runs),
-        mean_aborted=sum(r.aborted for r in runs) / len(runs),
-        mean_deadlocks=sum(r.deadlocks for r in runs) / len(runs),
+        mean_ticks=mean("ticks"),
+        mean_blocked=mean("blocked_attempts"),
+        mean_aborted=mean("aborted"),
+        mean_deadlocks=mean("deadlocks"),
+        mean_committed=mean("committed"),
+        mean_crash_aborts=mean("crash_aborts"),
+        mean_restarts=mean("restarts"),
+        mean_operations=mean("operations"),
+        mean_stuck_aborts=mean("stuck_aborts"),
+        mean_commit_stall_ticks=mean("commit_stall_ticks"),
+        mean_forces=mean("forces"),
+        mean_force_requests=mean("force_requests"),
+        mean_forced_records=mean("forced_records"),
+        faults=faults,
     )
+
+
+#: Table columns: (header, attribute).  ``thruput`` and ``ticks`` always
+#: render; the rest degrade gracefully — a column whose value is zero in
+#: every summary is omitted, so the classic failure-free table stays
+#: narrow while torture/group-commit tables show their extra counters.
+_OPTIONAL_COLUMNS: Tuple[Tuple[str, str], ...] = (
+    ("blocked", "mean_blocked"),
+    ("aborted", "mean_aborted"),
+    ("crash-ab", "mean_crash_aborts"),
+    ("deadlocks", "mean_deadlocks"),
+    ("stuck", "mean_stuck_aborts"),
+    ("stalls", "mean_commit_stall_ticks"),
+    ("forces", "mean_forces"),
+    ("f-req", "mean_force_requests"),
+    ("f-rec", "mean_forced_records"),
+)
 
 
 def format_summary_table(summaries: Sequence[MetricsSummary]) -> str:
-    """A fixed-width comparison table, best throughput first."""
+    """A fixed-width comparison table, best throughput first.
+
+    All-zero optional columns are omitted (see ``_OPTIONAL_COLUMNS``).
+    """
     rows = sorted(summaries, key=lambda s: -s.mean_throughput)
-    header = "%-28s %8s %8s %9s %9s %9s" % (
-        "configuration",
-        "thruput",
-        "ticks",
-        "blocked",
-        "aborted",
-        "deadlocks",
+    columns: List[Tuple[str, Callable[[MetricsSummary], str]]] = [
+        ("thruput", lambda s: "%8.4f" % s.mean_throughput),
+        ("ticks", lambda s: "%8.1f" % s.mean_ticks),
+    ]
+    for header, attr in _OPTIONAL_COLUMNS:
+        if any(getattr(s, attr) for s in rows):
+            columns.append(
+                (header, lambda s, a=attr: "%9.1f" % getattr(s, a))
+            )
+    header_line = "%-28s " % "configuration" + " ".join(
+        "%*s" % (8 if i < 2 else 9, name)
+        for i, (name, _) in enumerate(columns)
     )
-    lines = [header, "-" * len(header)]
+    lines = [header_line, "-" * len(header_line)]
     for s in rows:
         lines.append(
-            "%-28s %8.4f %8.1f %9.1f %9.1f %9.1f"
-            % (
-                s.label,
-                s.mean_throughput,
-                s.mean_ticks,
-                s.mean_blocked,
-                s.mean_aborted,
-                s.mean_deadlocks,
-            )
+            "%-28s " % s.label + " ".join(fmt(s) for _, fmt in columns)
         )
     return "\n".join(lines)

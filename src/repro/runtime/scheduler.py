@@ -54,6 +54,7 @@ class _LiveTxn:
     restarts: int = 0
     born_tick: int = 0
     backoff_until: int = 0  # restarted victims wait before re-entering
+    stall_ticks: int = 0  # ticks this incarnation waited on a held commit batch
     #: transactions (incarnations) that must finish before re-entry —
     #: the surviving members of the deadlock cycle this entry died in.
     wait_for: FrozenSet[str] = frozenset()
@@ -76,6 +77,7 @@ class Scheduler:
         max_ticks: int = 100_000,
         label: str = "",
         on_tick=None,
+        trace=None,
     ):
         names = [s.name for s in scripts]
         if len(set(names)) != len(names):
@@ -90,6 +92,12 @@ class Scheduler:
         #: truthy return counts as progress (crash injectors, periodic
         #: checkpoints and the like hang off this).
         self.on_tick = on_tick
+        #: optional :class:`~repro.runtime.trace.TraceCollector`; when
+        #: set, it is bound to the system's emit sites too (objects and
+        #: stable logs), so one collector sees the whole run.
+        self.trace = trace
+        if trace is not None:
+            trace.bind_system(system)
         self._live: List[_LiveTxn] = [
             _LiveTxn(script=s, txn=s.name) for s in scripts
         ]
@@ -99,11 +107,20 @@ class Scheduler:
 
     def run(self) -> RunMetrics:
         """Run until every script commits or exhausts its restart budget."""
+        if self.trace is not None:
+            # Stamp run-start (and a possible instant run-end) with tick
+            # 0: on torture re-entry the collector still carries the
+            # crashed run's last tick, and the loop below restarts its
+            # tick counter — exactly as ``metrics.ticks`` does.
+            self.trace.begin_tick(0)
+            self.trace.emit("run-start", label=self.metrics.label)
         for tick in range(1, self.max_ticks + 1):
             live = [t for t in self._live if not self._is_retired(t)]
             if not live:
                 break
             self.metrics.ticks = tick
+            if self.trace is not None:
+                self.trace.begin_tick(tick)
             progressed = self._tick(tick, live)
             if self.on_tick is not None:
                 progressed = bool(self.on_tick(tick)) or progressed
@@ -119,6 +136,12 @@ class Scheduler:
                 "scheduler did not converge within %d ticks" % self.max_ticks
             )
         self._harvest_force_accounting()
+        if self.trace is not None:
+            self.trace.emit(
+                "run-end",
+                label=self.metrics.label,
+                metrics=self.metrics.counters(),
+            )
         return self.metrics
 
     def _harvest_force_accounting(self) -> None:
@@ -146,13 +169,32 @@ class Scheduler:
         for entry in self._live:
             if entry.txn in victims:
                 self.metrics.aborted += 1
+                self.metrics.crash_aborts += 1
+                if self.trace is not None:
+                    self.trace.emit("txn-abort", txn=entry.txn, reason="crash")
                 entry.restarts += 1
                 if entry.restarts <= self.max_restarts:
                     self.metrics.restarts += 1
                     entry.txn = "%s~r%d" % (entry.script.name, entry.restarts)
                     entry.step = 0
                     entry.born_tick = tick
+                    entry.stall_ticks = 0
                     entry.wait_for = frozenset()
+                    # The pre-crash backoff window is stale state: the
+                    # crash already scrambled the interleaving that the
+                    # backoff was avoiding, and volatile lock state is
+                    # gone, so the restarted incarnation re-enters
+                    # immediately instead of silently sitting out a
+                    # window scheduled before the crash.
+                    entry.backoff_until = 0
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "txn-restart",
+                            txn=entry.txn,
+                            incarnation=entry.restarts,
+                            backoff_until=0,
+                            reason="crash",
+                        )
         self._waits = WaitsForGraph()
 
     def _is_retired(self, live: _LiveTxn) -> bool:
@@ -187,6 +229,15 @@ class Scheduler:
                 if self.system.commit(entry.txn):
                     self.metrics.committed += 1
                     self._waits.remove_transaction(entry.txn)
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "txn-commit",
+                            txn=entry.txn,
+                            script=entry.script.name,
+                            born=entry.born_tick,
+                            latency=tick - entry.born_tick,
+                            stall_ticks=entry.stall_ticks,
+                        )
                     progressed = True
                 elif self.system.status(entry.txn) == "active":
                     # Group commit: the transaction's durable work sits
@@ -194,6 +245,9 @@ class Scheduler:
                     # a lock wait — the hold timer bounds it, so it
                     # counts as progress (no deadlock victim needed).
                     self.metrics.commit_stall_ticks += 1
+                    entry.stall_ticks += 1
+                    if self.trace is not None:
+                        self.trace.emit("commit-stall", txn=entry.txn)
                     progressed = True
                 continue
             obj_name, invocation = entry.script.steps[entry.step]
@@ -202,12 +256,34 @@ class Scheduler:
                 entry.step += 1
                 self.metrics.operations += 1
                 self._waits.clear_waiter(entry.txn)
+                if self.trace is not None:
+                    self.trace.emit(
+                        "op-ok",
+                        txn=entry.txn,
+                        obj=obj_name,
+                        op=str(invocation),
+                    )
                 progressed = True
             elif outcome.status == "blocked":
                 self.metrics.blocked_attempts += 1
                 self._waits.wait(entry.txn, outcome.blockers)
+                if self.trace is not None:
+                    self.trace.emit(
+                        "op-blocked",
+                        txn=entry.txn,
+                        obj=obj_name,
+                        op=str(invocation),
+                        blockers=sorted(outcome.blockers),
+                    )
             else:  # stuck: the recovery view is illegal; abort immediately
                 self.metrics.stuck_aborts += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "op-stuck",
+                        txn=entry.txn,
+                        obj=obj_name,
+                        op=str(invocation),
+                    )
                 self._abort_and_restart(entry, tick, reason="stuck")
                 progressed = True
         return progressed
@@ -220,6 +296,10 @@ class Scheduler:
             self.metrics.deadlocks += 1
             victim_txn = self._pick_victim(cycle, live)
             survivors = frozenset(cycle) - {victim_txn}
+            if self.trace is not None:
+                self.trace.emit(
+                    "deadlock", victim=victim_txn, cycle=sorted(cycle)
+                )
         else:
             # No cycle.  If some transactions are genuinely runnable
             # (not napping, not waiting) but blocked, abort one with the
@@ -275,12 +355,15 @@ class Scheduler:
             pass  # never touched any object: nothing to abort
         self.metrics.aborted += 1
         self._waits.remove_transaction(entry.txn)
+        if self.trace is not None:
+            self.trace.emit("txn-abort", txn=entry.txn, reason=reason)
         entry.restarts += 1
         if entry.restarts <= self.max_restarts:
             self.metrics.restarts += 1
             entry.txn = "%s~r%d" % (entry.script.name, entry.restarts)
             entry.step = 0
             entry.born_tick = tick
+            entry.stall_ticks = 0
             entry.wait_for = wait_for
             # Randomized exponential backoff breaks repeat-collision
             # livelock: the window grows with the restart count until a
@@ -289,6 +372,14 @@ class Scheduler:
                 1 + entry.restarts, 32
             )
             entry.backoff_until = tick + self.rng.randint(1, horizon)
+            if self.trace is not None:
+                self.trace.emit(
+                    "txn-restart",
+                    txn=entry.txn,
+                    incarnation=entry.restarts,
+                    backoff_until=entry.backoff_until,
+                    reason=reason,
+                )
 
 
 def run_scripts(

@@ -81,6 +81,10 @@ class ManagedObject:
         self._response_chooser = response_chooser
         self._pending: Dict[str, Invocation] = {}
         self._events: List[Event] = []
+        #: optional :class:`~repro.runtime.trace.TraceCollector`; set by
+        #: ``TraceCollector.bind_system``.  Guarded at every emit site so
+        #: the untraced path pays one ``is None`` test.
+        self.trace = None
 
     @property
     def name(self) -> str:
@@ -113,6 +117,13 @@ class ManagedObject:
         if pending is None:
             self._pending[txn] = invocation
             self._events.append(invoke_event(invocation, self.name, txn))
+            if self.trace is not None:
+                self.trace.emit(
+                    "op-invoke",
+                    txn=txn,
+                    obj=self.name,
+                    invocation=str(invocation),
+                )
         elif pending != invocation:
             raise InvalidTransactionState(
                 "transaction %s is pending %s at %s, not %s"
@@ -131,6 +142,8 @@ class ManagedObject:
             else:
                 free.append((response, operation))
         if not free:
+            if self.trace is not None:
+                self._trace_lock_wait(txn, invocation, responses)
             return OperationOutcome("blocked", blockers=frozenset(blockers))
         if self._response_chooser is not None:
             response, operation = self._response_chooser(free)
@@ -143,6 +156,33 @@ class ManagedObject:
         self._pending.pop(txn, None)
         self._events.append(respond_event(response, self.name, txn))
         return OperationOutcome("ok", operation=operation)
+
+    def _trace_lock_wait(self, txn, invocation, responses) -> None:
+        """Attribute one blocked attempt to its conflict-table entries.
+
+        Recomputes the conflicting holds per candidate response (work
+        :meth:`try_operation` deliberately skips on the hot path) and
+        emits one ``lock-wait`` event whose ``pairs`` are the distinct
+        ``(new_class, held_class)`` conflict-relation entries, tagged
+        with the holder.  Labels come from the ADT's operation classes,
+        so the report speaks the paper's conflict-table language."""
+
+        def label(operation: Operation) -> str:
+            try:
+                return self.adt.classify(operation)
+            except Exception:
+                return str(operation.invocation)
+
+        pairs: List[Tuple[str, str, str]] = []
+        seen: Set[Tuple[str, str, str]] = set()
+        for response in sorted(responses, key=repr):
+            operation = self.adt.operation(invocation, response)
+            for holder, held in self.locks.conflicting_holds(txn, operation):
+                row = (label(operation), label(held), holder)
+                if row not in seen:
+                    seen.add(row)
+                    pairs.append(row)
+        self.trace.emit("lock-wait", txn=txn, obj=self.name, pairs=pairs)
 
     # -- transaction completion -------------------------------------------------------
 
@@ -210,6 +250,8 @@ class TransactionSystem:
         self._finished: Dict[str, str] = {}  # txn -> "committed" | "aborted"
         self._committing: Dict[str, _PendingCommit] = {}
         self._events: List[Event] = []
+        #: optional trace collector (see :class:`ManagedObject.trace`).
+        self.trace = None
         #: per-object count of events already mirrored into the global
         #: history; lets a crash handler reconcile events an interrupted
         #: call recorded at the object but never reported.
@@ -289,6 +331,8 @@ class TransactionSystem:
                     return False
             pending = _PendingCommit(touched, "prepared")
             self._committing[txn] = pending
+            if self.trace is not None:
+                self.trace.emit("2pc-prepare", txn=txn, objects=list(touched))
         return self._advance_commit(txn, pending)
 
     def _advance_commit(self, txn: str, pending: _PendingCommit) -> bool:
@@ -304,6 +348,8 @@ class TransactionSystem:
             for name in pending.touched:
                 self.object(name).submit_commit(txn)
             pending.phase = "committing"
+            if self.trace is not None:
+                self.trace.emit("2pc-submit", txn=txn)
         if not all(self.object(n).commit_ready(txn) for n in pending.touched):
             return False
         for name in pending.touched:
@@ -312,6 +358,8 @@ class TransactionSystem:
             self._sync_events(name)
         del self._committing[txn]
         self._finished[txn] = "committed"
+        if self.trace is not None:
+            self.trace.emit("2pc-complete", txn=txn)
         return True
 
     def tick(self) -> None:

@@ -301,6 +301,7 @@ def run_schedule(
     *,
     seed: int = 0,
     counters: Optional[FaultCounters] = None,
+    trace=None,
 ) -> ScheduleResult:
     """Drive one workload under one fault plan, auditing every recovery.
 
@@ -316,6 +317,8 @@ def run_schedule(
     scripts = workload_for(config, adt, random.Random(seed))
     schedule = plan.describe()
     violations: List[Violation] = []
+    if trace is not None:
+        trace.emit("schedule-start", label=config.label(), plan=schedule)
 
     def maybe_checkpoint(tick: int) -> bool:
         if config.checkpoint_every and tick % config.checkpoint_every == 0:
@@ -333,6 +336,7 @@ def run_schedule(
         max_ticks=config.max_ticks,
         label=config.label(),
         on_tick=maybe_checkpoint if config.checkpoint_every else None,
+        trace=trace,
     )
     while True:
         try:
@@ -436,6 +440,7 @@ def run_torture(
     seed: int = 0,
     max_faults: int = 2,
     retry: Optional[RetryPolicy] = None,
+    trace=None,
 ) -> TortureReport:
     """Run ``schedules`` fault schedules round-robin over the configs.
 
@@ -475,7 +480,11 @@ def run_torture(
                 master, horizon, max_faults=max_faults, retry=retry
             )
         result = run_schedule(
-            config, plan, seed=master.randrange(2**31), counters=report.counters
+            config,
+            plan,
+            seed=master.randrange(2**31),
+            counters=report.counters,
+            trace=trace,
         )
         report.schedules += 1
         report.crashes += result.crashes

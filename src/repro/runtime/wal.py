@@ -186,6 +186,11 @@ class StableLog:
         self._pending_forces = 0  # requests waiting in the held batch
         self._hold_ticks = 0  # ticks the held batch has been waiting
         self._flush_seq = 0  # completed physical flushes (the ticket clock)
+        #: optional trace collector + the object name to stamp events
+        #: with (set by ``TraceCollector.bind_system``).
+        self.trace = None
+        self.trace_name = ""
+        self._last_batch = 0  # requests served by the in-flight flush
 
     def append(self, make_record) -> LogRecord:
         """Append ``make_record(lsn)``; returns the record."""
@@ -208,6 +213,13 @@ class StableLog:
         self.force_requests += 1
         self._pending_forces += 1
         ticket = self._flush_seq + 1
+        # Emit before any flush: a full batch forces immediately, and
+        # under fault injection that flush may crash the process — the
+        # request still happened and must reconcile.
+        if self.trace is not None:
+            self.trace.emit(
+                "force-request", obj=self.trace_name, ticket=ticket
+            )
         if self._pending_forces >= self.policy.batch_size:
             self.force()
         return ticket
@@ -236,6 +248,7 @@ class StableLog:
         commit riding the batch is ever acknowledged ahead of its
         durability.
         """
+        self._last_batch = self._pending_forces
         self._pending_forces = 0
         self._hold_ticks = 0
         self._physical_force()
@@ -243,9 +256,17 @@ class StableLog:
 
     def _physical_force(self) -> None:
         """One device flush (the base log is in-memory; we only count)."""
-        self.forced_records += len(self._records) - self._flushed
+        newly = len(self._records) - self._flushed
+        self.forced_records += newly
         self._flushed = len(self._records)
         self.forces += 1
+        if self.trace is not None:
+            self.trace.emit(
+                "force",
+                obj=self.trace_name,
+                served=self._last_batch,
+                records=newly,
+            )
 
     # -- storage --------------------------------------------------------------
 
@@ -274,9 +295,12 @@ class StableLog:
         self._pending_forces = 0
         self._hold_ticks = 0
         if not self.policy.is_batching:
-            return 0
-        lost = len(self._records) - self._flushed
-        self._records = self._records[: self._flushed]
+            lost = 0
+        else:
+            lost = len(self._records) - self._flushed
+            self._records = self._records[: self._flushed]
+        if self.trace is not None:
+            self.trace.emit("log-crash", obj=self.trace_name, lost=lost)
         return lost
 
     def recovery_append(self, make_record) -> LogRecord:

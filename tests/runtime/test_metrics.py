@@ -1,8 +1,11 @@
 """Unit tests for run metrics and aggregation."""
 
+from dataclasses import fields
+
 import pytest
 
 from repro.runtime.metrics import (
+    FaultCounters,
     MetricsSummary,
     RunMetrics,
     format_summary_table,
@@ -30,6 +33,25 @@ class TestRunMetrics:
         row = m.row()
         assert row[0] == "x" and row[-1] == 0.5
 
+    def test_row_carries_every_counter(self):
+        # Regression: row() used to silently drop counters added after
+        # the seed (stuck_aborts, commit_stall_ticks, force accounting).
+        m = RunMetrics(label="x")
+        for name in m.counters():
+            setattr(m, name, 7)
+        row = m.row()
+        assert row.count(7) == len(m.counters())
+
+    def test_counters_lists_every_int_field(self):
+        m = RunMetrics()
+        int_fields = {
+            spec.name for spec in fields(RunMetrics) if spec.type == "int"
+        }
+        assert set(m.counters()) == int_fields
+        assert "stuck_aborts" in int_fields
+        assert "crash_aborts" in int_fields
+        assert "forced_records" in int_fields
+
 
 class TestSummarize:
     def test_aggregates(self):
@@ -49,6 +71,39 @@ class TestSummarize:
         with pytest.raises(ValueError):
             summarize("cfg", [])
 
+    def test_no_counter_lost_in_aggregation(self):
+        # Regression: summarize() used to drop stuck_aborts,
+        # commit_stall_ticks and the force accounting entirely.  Every
+        # RunMetrics counter must surface as a mean_* field.
+        run = RunMetrics(ticks=1)
+        for name in run.counters():
+            setattr(run, name, 6)
+        s = summarize("cfg", [run, run])
+        for name in run.counters():
+            mean_name = {
+                "blocked_attempts": "mean_blocked",
+                "aborted": "mean_aborted",
+            }.get(name, "mean_" + name)
+            assert hasattr(s, mean_name), "summary lost %s" % name
+            assert getattr(s, mean_name) == 6.0
+
+    def test_fault_counters_merge_across_seeds(self):
+        # Regression: summarize() used to discard FaultCounters.
+        runs = [
+            RunMetrics(ticks=1, faults=FaultCounters(crashes=2, io_errors=1)),
+            RunMetrics(ticks=1),  # a seed without fault injection
+            RunMetrics(ticks=1, faults=FaultCounters(crashes=1, torn_forces=3)),
+        ]
+        s = summarize("cfg", runs)
+        assert s.faults is not None
+        assert s.faults.crashes == 3
+        assert s.faults.io_errors == 1
+        assert s.faults.torn_forces == 3
+
+    def test_no_faults_stays_none(self):
+        s = summarize("cfg", [RunMetrics(ticks=1)])
+        assert s.faults is None
+
 
 class TestFormatting:
     def test_table_sorted_by_throughput(self):
@@ -63,4 +118,38 @@ class TestFormatting:
         text = format_summary_table(
             [summarize("cfg", [RunMetrics(ticks=1, committed=1)])]
         )
-        assert "thruput" in text and "deadlocks" in text
+        assert "thruput" in text and "ticks" in text
+
+    def test_all_zero_columns_omitted(self):
+        # A clean failure-free run renders the narrow classic table.
+        text = format_summary_table(
+            [summarize("cfg", [RunMetrics(ticks=1, committed=1)])]
+        )
+        for header in ("deadlocks", "stuck", "stalls", "forces", "crash-ab"):
+            assert header not in text
+
+    def test_nonzero_columns_appear(self):
+        run = RunMetrics(
+            ticks=5,
+            committed=1,
+            deadlocks=2,
+            stuck_aborts=1,
+            commit_stall_ticks=4,
+            forces=3,
+            force_requests=6,
+            forced_records=9,
+            crash_aborts=1,
+        )
+        text = format_summary_table([summarize("cfg", [run])])
+        for header in (
+            "deadlocks",
+            "stuck",
+            "stalls",
+            "forces",
+            "f-req",
+            "f-rec",
+            "crash-ab",
+        ):
+            assert header in text, "missing column %s" % header
+        # A column present for one summary renders for all rows.
+        assert "9.0" in text

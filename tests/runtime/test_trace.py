@@ -1,0 +1,288 @@
+"""Tests for structured run tracing and trace<->metrics reconciliation.
+
+The load-bearing property: every :class:`RunMetrics` counter rebuilt
+from the trace stream equals the scheduler's own accounting,
+field-for-field, across workloads, seeds, group-commit batch sizes and
+crash schedules.  A trace that reconciles is a correctness cross-check
+on the scheduler; a mismatch means an emit site and a counter increment
+have drifted apart.
+"""
+
+import random
+
+import pytest
+
+from repro.adts.registry import make_adt
+from repro.runtime import (
+    EVENT_SCHEMA,
+    CrashableSystem,
+    DurableObject,
+    FaultPlan,
+    GroupCommitPolicy,
+    ManagedObject,
+    Scheduler,
+    StableLog,
+    TortureConfig,
+    TraceCollector,
+    TransactionSystem,
+    commit_latencies,
+    contention_profile,
+    format_trace_report,
+    latency_histogram,
+    load_jsonl,
+    reconcile,
+    reconstruct_counters,
+    run_schedule,
+    validate_event,
+)
+from repro.runtime.workloads import (
+    escrow_workload,
+    hotspot_banking,
+    producer_consumer,
+)
+
+WORKLOADS = {
+    "hotspot": ("bank", hotspot_banking),
+    "escrow": ("escrow", escrow_workload),
+}
+
+
+def build_traced_run(workload, seed, group_commit=1, hold=3):
+    """One traced scheduler run; returns (metrics, collector)."""
+    rng = random.Random(seed)
+    if workload == "fifo":
+        adt = make_adt("fifo")
+        scripts = producer_consumer(
+            rng, obj=adt.name, producers=3, consumers=3, ops_per_txn=2
+        )
+    else:
+        kind, generator = WORKLOADS[workload]
+        adt = make_adt(kind)
+        scripts = generator(rng, obj=adt.name, transactions=6, ops_per_txn=3)
+    conflict = adt.nfc_conflict()
+    if group_commit > 1:
+        policy = GroupCommitPolicy(group_commit, hold)
+        obj = DurableObject(
+            adt, conflict, "DU", log_factory=lambda: StableLog(policy=policy)
+        )
+        system = CrashableSystem([obj])
+    else:
+        system = TransactionSystem([ManagedObject(adt, conflict, "DU")])
+    trace = TraceCollector()
+    metrics = Scheduler(
+        system,
+        scripts,
+        seed=seed,
+        label="%s-s%d-gc%d" % (workload, seed, group_commit),
+        trace=trace,
+    ).run()
+    return metrics, trace
+
+
+def assert_reconciles(trace):
+    for event in trace.events:
+        error = validate_event(event)
+        assert error is None, error
+    results = reconcile(trace.events)
+    assert results, "no completed run segment"
+    for result in results:
+        assert result.ok, result.mismatches
+    return results
+
+
+class TestReconciliationMatrix:
+    @pytest.mark.parametrize("workload", ["hotspot", "escrow", "fifo"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_volatile_runs_reconcile(self, workload, seed):
+        metrics, trace = build_traced_run(workload, seed)
+        results = assert_reconciles(trace)
+        assert results[0].reported == metrics.counters()
+
+    @pytest.mark.parametrize("workload", ["hotspot", "fifo"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_group_commit_runs_reconcile(self, workload, seed):
+        metrics, trace = build_traced_run(workload, seed, group_commit=4)
+        assert_reconciles(trace)
+        # Group commit actually exercised: requests were coalesced.
+        assert metrics.force_requests >= metrics.forces
+
+    def test_torture_crash_schedule_reconciles(self):
+        trace = TraceCollector()
+        config = TortureConfig(
+            "bank", "DU", transactions=4, ops_per_txn=2, group_commit=2, hold=2
+        )
+        plan = FaultPlan.crash_at(5, "crash-after-append")
+        run_schedule(config, plan, seed=3, trace=trace)
+        results = assert_reconciles(trace)
+        kinds = {e["kind"] for e in trace.events}
+        assert "crash" in kinds and "recovery" in kinds
+        # The crash aborts reconcile too (the bugfix counter).
+        assert results[0].reported["crash_aborts"] > 0
+
+    def test_torture_torn_force_reconciles(self):
+        trace = TraceCollector()
+        config = TortureConfig(
+            "bank", "DU", transactions=4, ops_per_txn=2, group_commit=3, hold=2
+        )
+        plan = FaultPlan.crash_at(8, "crash-during-force", keep=1, seed=7)
+        run_schedule(config, plan, seed=7, trace=trace)
+        assert_reconciles(trace)
+
+    def test_traced_and_untraced_runs_identical(self):
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        adt_a, adt_b = make_adt("bank"), make_adt("bank")
+        scripts_a = hotspot_banking(
+            rng_a, obj=adt_a.name, transactions=6, ops_per_txn=3
+        )
+        scripts_b = hotspot_banking(
+            rng_b, obj=adt_b.name, transactions=6, ops_per_txn=3
+        )
+        sys_a = TransactionSystem(
+            [ManagedObject(adt_a, adt_a.nfc_conflict(), "DU")]
+        )
+        sys_b = TransactionSystem(
+            [ManagedObject(adt_b, adt_b.nfc_conflict(), "DU")]
+        )
+        untraced = Scheduler(sys_a, scripts_a, seed=5, label="x").run()
+        traced = Scheduler(
+            sys_b, scripts_b, seed=5, label="x", trace=TraceCollector()
+        ).run()
+        assert untraced.counters() == traced.counters()
+
+
+class TestCrashRestartRegression:
+    """Scheduler.handle_crash: backoff reset + crash_aborts accounting."""
+
+    def _scheduler(self):
+        adt = make_adt("bank")
+        system = TransactionSystem(
+            [ManagedObject(adt, adt.nfc_conflict(), "DU")]
+        )
+        from repro.core.events import Invocation
+        from repro.runtime.scheduler import TransactionScript
+
+        scripts = [
+            TransactionScript(
+                "T%d" % i, ((adt.name, Invocation("deposit", (1,))),)
+            )
+            for i in range(2)
+        ]
+        return Scheduler(system, scripts, seed=0, label="crash-test")
+
+    def test_backoff_reset_on_crash_restart(self):
+        scheduler = self._scheduler()
+        entry = scheduler._live[0]
+        entry.backoff_until = 10_000  # stale pre-crash backoff window
+        entry.stall_ticks = 9
+        scheduler.handle_crash({entry.txn}, tick=12)
+        assert entry.backoff_until == 0
+        assert entry.stall_ticks == 0
+        assert entry.txn == "T0~r1"
+
+    def test_crash_aborts_counted_separately(self):
+        scheduler = self._scheduler()
+        victims = {t.txn for t in scheduler._live}
+        scheduler.handle_crash(victims, tick=1)
+        assert scheduler.metrics.aborted == 2
+        assert scheduler.metrics.crash_aborts == 2
+        assert scheduler.metrics.restarts == 2
+
+    def test_deadlock_aborts_not_counted_as_crash(self):
+        metrics, trace = build_traced_run("hotspot", 0)
+        if metrics.aborted:
+            assert metrics.crash_aborts == 0
+
+
+class TestEventStream:
+    def test_jsonl_round_trip(self, tmp_path):
+        import json
+
+        _, trace = build_traced_run("hotspot", 1)
+        path = str(tmp_path / "t.jsonl")
+        count = trace.dump_jsonl(path)
+        assert count == len(trace.events)
+        loaded = load_jsonl(path)
+        # JSON canonicalizes tuples to lists; compare canonical forms.
+        assert loaded == [
+            json.loads(json.dumps(e)) for e in trace.events
+        ]
+        assert reconcile(loaded)[0].ok
+
+    def test_load_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(ValueError, match="line 1"):
+            load_jsonl(str(path))
+
+    def test_load_rejects_schema_violation(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "txn-commit", "tick": 3}\n')
+        with pytest.raises(ValueError, match="missing required fields"):
+            load_jsonl(str(path))
+
+    def test_validate_event_cases(self):
+        assert validate_event("nope") is not None
+        assert validate_event({"kind": "martian", "tick": 0}) is not None
+        assert validate_event({"kind": "op-ok", "tick": -1}) is not None
+        ok = {"kind": "op-ok", "tick": 2, "txn": "T", "obj": "X", "op": "w"}
+        assert validate_event(ok) is None
+
+    def test_every_schema_kind_has_fields_tuple(self):
+        for kind, required in EVENT_SCHEMA.items():
+            assert isinstance(required, tuple), kind
+
+    def test_lock_waits_carry_conflict_pairs(self):
+        metrics, trace = build_traced_run("hotspot", 0)
+        waits = [e for e in trace.events if e["kind"] == "lock-wait"]
+        if metrics.blocked_attempts:
+            assert waits
+        for event in waits:
+            assert event["pairs"], "lock-wait without attribution"
+            for new_label, held_label, holder in event["pairs"]:
+                assert new_label and held_label and holder
+
+    def test_2pc_phases_in_order_per_txn(self):
+        _, trace = build_traced_run("fifo", 2, group_commit=4)
+        phases = {}
+        for event in trace.events:
+            if event["kind"].startswith("2pc-"):
+                phases.setdefault(event["txn"], []).append(event["kind"])
+        assert phases
+        for txn, kinds in phases.items():
+            assert kinds[0] == "2pc-prepare", txn
+            assert kinds[-1] == "2pc-complete", txn
+
+
+class TestDerivedReports:
+    def test_commit_latencies_match_committed(self):
+        metrics, trace = build_traced_run("hotspot", 2)
+        rows = commit_latencies(trace.events)
+        assert len(rows) == metrics.committed
+        for row in rows:
+            assert row["latency"] == row["committed"] - row["born"]
+            assert row["stall_ticks"] + row["other_ticks"] == row["latency"]
+
+    def test_latency_histogram_partitions(self):
+        buckets = latency_histogram([0, 1, 2, 3, 9, 70])
+        assert sum(count for _, _, count in buckets) == 6
+        for lo, hi, _ in buckets:
+            assert lo <= hi
+
+    def test_contention_profile_totals(self):
+        metrics, trace = build_traced_run("hotspot", 0)
+        profile = contention_profile(trace.events)
+        assert profile["blocked_attempts"] == metrics.blocked_attempts
+        assert sum(profile["objects"].values()) == metrics.blocked_attempts
+        for _obj, _new, _held, count, share in profile["pairs"]:
+            assert count > 0
+            assert 0.0 < share <= 1.0
+
+    def test_report_renders(self):
+        _, trace = build_traced_run("hotspot", 0)
+        text = format_trace_report(trace.events)
+        assert "reconcile" in text and "OK" in text
+        assert "contention" in text
+
+    def test_reconstruct_counters_empty_stream(self):
+        counters = reconstruct_counters([])
+        assert all(v == 0 for v in counters.values())

@@ -117,3 +117,131 @@ class TestCompareCommand:
     def test_unknown_workload(self):
         with pytest.raises(SystemExit):
             main(["compare", "blockchain"])
+
+    def test_rejects_zero_seeds(self, capsys):
+        with pytest.raises(SystemExit, match="--seeds must be >= 1"):
+            main(["compare", "hotspot", "--seeds", "0"])
+
+    def test_rejects_negative_opening(self):
+        with pytest.raises(SystemExit, match="--opening must be >= 0"):
+            main(["compare", "hotspot", "--opening", "-5"])
+
+
+class TestRunCommand:
+    def test_run_prints_metrics(self, capsys):
+        assert main(["run", "bank", "--transactions", "4", "--ops", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "committed" in out and "forces" in out
+
+    def test_rejects_zero_transactions(self):
+        with pytest.raises(SystemExit, match="--transactions must be >= 1"):
+            main(["run", "bank", "--transactions", "0"])
+
+    def test_rejects_negative_ops(self):
+        with pytest.raises(SystemExit, match="--ops must be >= 1"):
+            main(["run", "bank", "--ops", "-1"])
+
+    def test_rejects_bad_group_commit(self):
+        with pytest.raises(SystemExit, match="--group-commit must be >= 1"):
+            main(["run", "bank", "--group-commit", "0"])
+
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        from repro.runtime.trace import load_jsonl, reconcile
+
+        path = str(tmp_path / "t.jsonl")
+        assert (
+            main(
+                [
+                    "run",
+                    "bank",
+                    "--transactions",
+                    "4",
+                    "--ops",
+                    "2",
+                    "--group-commit",
+                    "4",
+                    "--trace-out",
+                    path,
+                ]
+            )
+            == 0
+        )
+        assert "trace" in capsys.readouterr().out
+        events = load_jsonl(path)  # schema-validates every line
+        results = reconcile(events)
+        assert len(results) == 1 and results[0].ok
+
+
+class TestTortureValidation:
+    def test_rejects_zero_schedules(self):
+        with pytest.raises(SystemExit, match="--schedules must be >= 1"):
+            main(["torture", "--schedules", "0"])
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(SystemExit, match="--max-retries must be >= 0"):
+            main(["torture", "--max-retries", "-1"])
+
+    def test_rejects_zero_max_faults(self):
+        with pytest.raises(SystemExit, match="--max-faults must be >= 1"):
+            main(["torture", "--max-faults", "0"])
+
+    def test_rejects_negative_checkpoint_every(self):
+        with pytest.raises(SystemExit, match="--checkpoint-every must be >= 0"):
+            main(["torture", "--checkpoint-every", "-1"])
+
+
+class TestTraceReportCommand:
+    def _write_trace(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        assert (
+            main(
+                [
+                    "torture",
+                    "--adt",
+                    "bank",
+                    "--recovery",
+                    "du",
+                    "--schedules",
+                    "2",
+                    "--trace-out",
+                    path,
+                ]
+            )
+            == 0
+        )
+        return path
+
+    def test_torture_trace_reconciles(self, tmp_path, capsys):
+        path = self._write_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["trace-report", path, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "reconcile" in out and "MISMATCH" not in out
+
+    def test_rejects_malformed_trace(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(SystemExit, match="invalid trace"):
+            main(["trace-report", str(path)])
+
+    def test_mismatch_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "t.jsonl"
+        events = [
+            {"kind": "run-start", "tick": 0, "label": "x"},
+            {
+                "kind": "run-end",
+                "tick": 0,
+                "label": "x",
+                "metrics": {"committed": 3},
+            },
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in events))
+        assert main(["trace-report", str(path)]) == 1
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_strict_rejects_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["trace-report", str(path), "--strict"]) == 1
