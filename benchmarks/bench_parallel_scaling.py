@@ -1,0 +1,158 @@
+"""EXP-C12: parallel scaling — the engine moves the clock, never a number.
+
+The parallel execution engine (``repro.runtime.parallel``) fans
+independent ``(configuration, seed)`` cells over a process pool.  The
+claims this bench pins down:
+
+1. **Byte-identical merge** — the reference compare sweep and a torture
+   campaign produce *exactly* the serial summaries at 1, 2 and 4
+   workers (dataclass equality and the formatted table/report text).
+2. **Measured speedup** — wall-clock time of the reference sweep at 2
+   and 4 workers, recorded in the artifact.  The >= 1.5x floor at 4
+   workers is asserted only when the machine actually has >= 4 usable
+   CPUs (the CI runners do; a 1-CPU container can only record the
+   numbers, not beat Amdahl).
+
+Results land in ``BENCH_parallel_scaling.json`` for the CI artifact
+trail.
+"""
+
+import json
+import os
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments.comparisons import (
+    compare,
+    compare_parallel,
+    comparison_case,
+    standard_configurations,
+)
+from repro.runtime import format_summary_table
+from repro.runtime.torture import configs_for, run_torture
+
+ARTIFACT = (
+    pathlib.Path(__file__).resolve().parent.parent / "BENCH_parallel_scaling.json"
+)
+
+# The reference sweep: heavy enough that a cell costs tens of
+# milliseconds (so pool startup amortizes), small enough for CI.
+WORKLOAD = "hotspot"
+SEEDS = tuple(range(8))
+TRANSACTIONS = 32
+OPS = 4
+WORKER_COUNTS = (1, 2, 4)
+TIMING_ROUNDS = 2
+SPEEDUP_FLOOR = 1.5
+
+
+def cpus_available() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover — non-Linux
+        return os.cpu_count() or 1
+
+
+def reference_sweep(workers: int):
+    summaries, failed = compare_parallel(
+        WORKLOAD,
+        seeds=SEEDS,
+        transactions=TRANSACTIONS,
+        ops_per_txn=OPS,
+        workers=workers,
+    )
+    assert not failed, [f.error for f in failed]
+    return summaries
+
+
+def timed(thunk):
+    """Min-of-N wall time (min is the noise-robust statistic here)."""
+    best = float("inf")
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        thunk()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@pytest.mark.experiment("EXP-C12")
+def test_parallel_compare_identical(benchmark):
+    """The fanned-out sweep merges to exactly the serial summaries."""
+    adt_factory, workload = comparison_case(
+        WORKLOAD, transactions=TRANSACTIONS, ops_per_txn=OPS
+    )
+    serial = benchmark.pedantic(
+        lambda: compare(adt_factory, workload, seeds=SEEDS),
+        rounds=1,
+        iterations=1,
+    )
+    serial_table = format_summary_table(serial)
+    for workers in WORKER_COUNTS:
+        summaries = reference_sweep(workers)
+        assert summaries == serial, "workers=%d diverged" % workers
+        assert format_summary_table(summaries) == serial_table
+
+
+@pytest.mark.experiment("EXP-C12")
+def test_parallel_torture_identical(benchmark):
+    """A fanned-out torture campaign merges to exactly the serial report."""
+    configs = configs_for(["bank", "escrow"], ("DU", "UIP"))
+
+    def campaign(workers):
+        return run_torture(
+            configs, schedules=24, seed=5, max_faults=2, workers=workers
+        )
+
+    serial = benchmark.pedantic(lambda: campaign(1), rounds=1, iterations=1)
+    assert serial.ok, "\n".join(v.format() for v in serial.violations)
+    for workers in WORKER_COUNTS[1:]:
+        report = campaign(workers)
+        assert report.format() == serial.format(), (
+            "workers=%d diverged" % workers
+        )
+
+
+@pytest.mark.experiment("EXP-C12")
+def test_parallel_scaling_speedup(benchmark, capsys):
+    """Record the scaling curve; assert the floor where CPUs allow."""
+    cpus = cpus_available()
+    times = {
+        workers: timed(lambda w=workers: reference_sweep(w))
+        for workers in WORKER_COUNTS
+    }
+    benchmark.pedantic(lambda: reference_sweep(1), rounds=1, iterations=1)
+    record = {
+        "workload": WORKLOAD,
+        "seeds": len(SEEDS),
+        "transactions": TRANSACTIONS,
+        "ops_per_txn": OPS,
+        "cells": len(SEEDS) * len(standard_configurations()),
+        "cpus": cpus,
+        "times_s": {str(w): times[w] for w in WORKER_COUNTS},
+        "speedup": {
+            str(w): times[1] / max(times[w], 1e-9) for w in WORKER_COUNTS
+        },
+        "floor_asserted": cpus >= 4,
+    }
+    ARTIFACT.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    with capsys.disabled():
+        print(
+            "\n-- EXP-C12 parallel scaling (%d cpus): "
+            "1w %.2fs, 2w %.2fs (%.2fx), 4w %.2fs (%.2fx) --"
+            % (
+                cpus,
+                times[1],
+                times[2],
+                record["speedup"]["2"],
+                times[4],
+                record["speedup"]["4"],
+            )
+        )
+    # A 1-CPU box cannot scale; the equality tests above still hold it
+    # to correctness, and the artifact records the (flat) curve.
+    if cpus >= 4:
+        assert record["speedup"]["4"] >= SPEEDUP_FLOOR, record
+    if cpus >= 2:
+        assert record["speedup"]["2"] >= 1.0, record

@@ -16,15 +16,17 @@ from repro.runtime.torture import TortureConfig, configs_for, run_torture
 SCHEDULES = 60
 
 
-def run_family(recovery: str, schedules: int = SCHEDULES, seed: int = 0):
+def run_family(
+    recovery: str, schedules: int = SCHEDULES, seed: int = 0, workers: int = 1
+):
     configs = configs_for(sorted(ADT_REGISTRY), (recovery,))
-    return run_torture(configs, schedules=schedules, seed=seed)
+    return run_torture(configs, schedules=schedules, seed=seed, workers=workers)
 
 
 @pytest.mark.experiment("EXP-C9")
-def test_torture_throughput_du(benchmark):
+def test_torture_throughput_du(benchmark, bench_workers):
     report = benchmark.pedantic(
-        lambda: run_family("DU"), rounds=3, iterations=1
+        lambda: run_family("DU", workers=bench_workers), rounds=3, iterations=1
     )
     assert report.ok, "\n".join(v.format() for v in report.violations)
     assert report.schedules == SCHEDULES
@@ -32,21 +34,27 @@ def test_torture_throughput_du(benchmark):
 
 
 @pytest.mark.experiment("EXP-C9")
-def test_torture_throughput_uip(benchmark):
+def test_torture_throughput_uip(benchmark, bench_workers):
     report = benchmark.pedantic(
-        lambda: run_family("UIP"), rounds=3, iterations=1
+        lambda: run_family("UIP", workers=bench_workers), rounds=3, iterations=1
     )
     assert report.ok, "\n".join(v.format() for v in report.violations)
     assert report.schedules == SCHEDULES
 
 
 @pytest.mark.experiment("EXP-C9")
-def test_torture_full_matrix_rate(benchmark, capsys):
+def test_torture_full_matrix_rate(benchmark, capsys, bench_workers):
     """The headline number: schedules/second over the full config matrix."""
 
     def campaign():
         configs = configs_for(sorted(ADT_REGISTRY), checkpoint_every=8)
-        return run_torture(configs, schedules=SCHEDULES, seed=7, max_faults=3)
+        return run_torture(
+            configs,
+            schedules=SCHEDULES,
+            seed=7,
+            max_faults=3,
+            workers=bench_workers,
+        )
 
     report = benchmark.pedantic(campaign, rounds=3, iterations=1)
     assert report.ok, "\n".join(v.format() for v in report.violations)

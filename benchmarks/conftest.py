@@ -5,9 +5,34 @@ per-experiment index.  Benchmarks both *measure* (via pytest-benchmark)
 and *verify* (via assertions on the regenerated artifact), so running
 ``pytest benchmarks/ --benchmark-only`` re-checks the reproduction
 end-to-end and prints the regenerated tables.
+
+``--workers N`` (or ``REPRO_BENCH_WORKERS=N``) lets the sweep-shaped
+benches opt into the parallel execution engine via the ``bench_workers``
+fixture; results are byte-identical to serial, only the wall clock
+moves.
 """
 
+import os
+
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_BENCH_WORKERS", "1")),
+        help="worker processes for benches that run experiment sweeps "
+        "(default: REPRO_BENCH_WORKERS or 1 = serial)",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_workers(request):
+    workers = request.config.getoption("--workers")
+    if workers < 1:
+        raise pytest.UsageError("--workers must be >= 1 (got %d)" % workers)
+    return workers
 
 
 def pytest_configure(config):

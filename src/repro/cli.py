@@ -13,11 +13,17 @@ Commands
     match the published tables.
 ``counterexample <uip|du> [--adt NAME]``
     Construct and print a Theorem 9/10 counterexample history.
+``synthesize <uip|du|suip> [--adt NAME]``
+    Derive, by probing, the conflict pairs a recovery view requires for
+    an ADT — the mechanical route to the Figure 6-1/6-2 tables.
 ``audit <history.json> --adt NAME [--object NAME=ADT ...]``
     Check a serialized history for atomicity and dynamic atomicity.
 ``compare <workload>``
     Run the concurrency comparison for one workload
     (hotspot/escrow/semiqueue/fifo/set/register) and print the table.
+    ``--seed-base B`` offsets the seed range; ``--workers N`` fans the
+    (configuration, seed) cells over a process pool with byte-identical
+    output (failed cells are printed and exit 1).
 ``run <adt>``
     Run one workload on a durable (crash-capable) system and print run
     metrics, including the group-commit force accounting
@@ -27,13 +33,18 @@ Commands
     fault injection (crashes at every log interaction, torn forces,
     transient IO errors), auditing the recovery invariants after every
     restart.  ``--inject-bug skip-commit-force`` runs the negative
-    control, which must be *detected* (exit 1).
+    control, which must be *detected* (exit 1).  ``--workers N`` fans
+    the schedules over a process pool (byte-identical report; schedules
+    lost to a worker death are retried once, then reported as failed
+    cells and exit 1).
 ``trace-report <t.jsonl>``
     Validate and summarize a structured run trace written by
-    ``repro run --trace-out`` / ``repro torture --trace-out``: schema
-    check every line, reconcile the trace against the recorded
-    ``RunMetrics`` counters, and print commit-latency and contention
-    reports.  Exit 1 on any schema or reconciliation failure.
+    ``repro run --trace-out`` / ``repro torture --trace-out`` (with
+    ``--workers N`` the per-worker shards ``<t>.w<k>.jsonl`` are
+    stitched back into ``<t>`` automatically): schema check every line,
+    reconcile the trace against the recorded ``RunMetrics`` counters,
+    and print commit-latency and contention reports.  Exit 1 on any
+    schema or reconciliation failure.
 """
 
 from __future__ import annotations
@@ -41,14 +52,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .adts import (
-    BankAccount,
-    EscrowAccount,
-    FifoQueue,
-    Register,
-    SemiQueue,
-    SetADT,
-)
 from .adts.registry import ADT_REGISTRY, DEFAULT_NAMES, make_adt
 
 
@@ -199,69 +202,47 @@ def cmd_audit(args) -> int:
 
 
 def cmd_compare(args) -> int:
-    
-    from .experiments.comparisons import _register_workload, compare
-    from .runtime import (
-        escrow_workload,
-        format_summary_table,
-        hotspot_banking,
-        producer_consumer,
-        set_membership_workload,
+    from .experiments.comparisons import (
+        COMPARE_WORKLOADS,
+        compare,
+        compare_parallel,
+        comparison_case,
     )
+    from .runtime import format_summary_table
 
-    cases = {
-        "hotspot": (
-            lambda: BankAccount("BA", opening=args.opening),
-            lambda rng: hotspot_banking(
-                rng, transactions=args.transactions, ops_per_txn=args.ops
-            ),
-        ),
-        "escrow": (
-            lambda: EscrowAccount("ESC", opening=args.opening),
-            lambda rng: escrow_workload(
-                rng, transactions=args.transactions, ops_per_txn=args.ops
-            ),
-        ),
-        "semiqueue": (
-            lambda: SemiQueue("Q"),
-            lambda rng: producer_consumer(
-                rng,
-                obj="Q",
-                producers=args.transactions // 2,
-                consumers=args.transactions // 2,
-                ops_per_txn=args.ops,
-            ),
-        ),
-        "fifo": (
-            lambda: FifoQueue("Q"),
-            lambda rng: producer_consumer(
-                rng,
-                obj="Q",
-                producers=args.transactions // 2,
-                consumers=args.transactions // 2,
-                ops_per_txn=args.ops,
-            ),
-        ),
-        "set": (
-            lambda: SetADT("SET"),
-            lambda rng: set_membership_workload(
-                rng, transactions=args.transactions, ops_per_txn=args.ops
-            ),
-        ),
-        "register": (
-            lambda: Register("REG"),
-            lambda rng: _register_workload(rng, transactions=args.transactions),
-        ),
-    }
-    if args.workload not in cases:
+    if args.workload not in COMPARE_WORKLOADS:
         raise SystemExit(
             "unknown workload %r (choose from: %s)"
-            % (args.workload, ", ".join(sorted(cases)))
+            % (args.workload, ", ".join(sorted(COMPARE_WORKLOADS)))
         )
     _check_workload_args(args)
     _check_min(args, (("seeds", 1), ("opening", 0)))
-    adt_factory, workload = cases[args.workload]
-    summaries = compare(adt_factory, workload, seeds=tuple(range(args.seeds)))
+    _check_parallel_args(args)
+    seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    if args.workers > 1:
+        summaries, failed = compare_parallel(
+            args.workload,
+            seeds=seeds,
+            transactions=args.transactions,
+            ops_per_txn=args.ops,
+            opening=args.opening,
+            workers=args.workers,
+        )
+        print(format_summary_table(summaries))
+        if failed:
+            print()
+            print("FAILED CELLS (%d):" % len(failed))
+            for result in failed:
+                print("  cell %d: %s" % (result.index, result.error))
+            return 1
+        return 0
+    adt_factory, workload = comparison_case(
+        args.workload,
+        transactions=args.transactions,
+        ops_per_txn=args.ops,
+        opening=args.opening,
+    )
+    summaries = compare(adt_factory, workload, seeds=seeds)
     print(format_summary_table(summaries))
     return 0
 
@@ -291,6 +272,17 @@ def _check_workload_args(args) -> None:
     _check_min(args, (("transactions", 1), ("ops", 1)))
 
 
+def _check_parallel_args(args) -> None:
+    """Shared floors for the execution knobs of run/compare/torture."""
+    _check_min(args, (("workers", 1), ("seed_base", 0)))
+
+
+def _count_jsonl(path: str) -> int:
+    """Events in a stitched trace file (the parallel trace accounting)."""
+    with open(path) as fp:
+        return sum(1 for line in fp if line.strip())
+
+
 def cmd_run(args) -> int:
     """Run one workload on a durable (crash-capable) system and report
     run metrics including the group-commit force accounting."""
@@ -308,6 +300,8 @@ def cmd_run(args) -> int:
         )
     _check_group_commit_args(args)
     _check_workload_args(args)
+    _check_parallel_args(args)
+    seed = args.seed_base + args.seed
     recovery = args.recovery.upper()
     config = TortureConfig(
         args.adt,
@@ -317,22 +311,56 @@ def cmd_run(args) -> int:
         group_commit=args.group_commit,
         hold=args.hold,
     )
-    adt = make_adt(args.adt)
-    conflict = adt.nrbc_conflict() if recovery == "UIP" else adt.nfc_conflict()
-    policy = GroupCommitPolicy(args.group_commit, args.hold)
-    obj = DurableObject(
-        adt, conflict, recovery, log_factory=lambda: StableLog(policy=policy)
-    )
-    system = CrashableSystem([obj])
-    scripts = workload_for(config, adt, random.Random(args.seed))
-    trace = None
-    if args.trace_out:
-        from .runtime.trace import TraceCollector
+    trace_count = None
+    if args.workers > 1:
+        # Route the cell through the parallel engine: same metrics, but
+        # tracing goes through the worker-shard + stitch path.
+        from .runtime.parallel import Cell, ParallelRunner
 
-        trace = TraceCollector()
-    metrics = Scheduler(
-        system, scripts, seed=args.seed, label=config.label(), trace=trace
-    ).run()
+        cell = Cell(
+            index=0,
+            kind="run",
+            spec={
+                "adt": args.adt,
+                "recovery": recovery,
+                "transactions": args.transactions,
+                "ops": args.ops,
+                "group_commit": args.group_commit,
+                "hold": args.hold,
+                "label": config.label(),
+            },
+            seed=seed,
+        )
+        runner = ParallelRunner(args.workers, trace_base=args.trace_out)
+        result = runner.run([cell])[0]
+        if not result.ok:
+            print("FAILED CELLS (1):")
+            print("  cell 0: %s" % result.error)
+            return 1
+        metrics = result.value
+        if args.trace_out:
+            trace_count = _count_jsonl(args.trace_out)
+    else:
+        adt = make_adt(args.adt)
+        conflict = (
+            adt.nrbc_conflict() if recovery == "UIP" else adt.nfc_conflict()
+        )
+        policy = GroupCommitPolicy(args.group_commit, args.hold)
+        obj = DurableObject(
+            adt, conflict, recovery, log_factory=lambda: StableLog(policy=policy)
+        )
+        system = CrashableSystem([obj])
+        scripts = workload_for(config, adt, random.Random(seed))
+        trace = None
+        if args.trace_out:
+            from .runtime.trace import TraceCollector
+
+            trace = TraceCollector()
+        metrics = Scheduler(
+            system, scripts, seed=seed, label=config.label(), trace=trace
+        ).run()
+        if trace is not None:
+            trace_count = trace.dump_jsonl(args.trace_out)
     print("workload          : %s" % config.label())
     print("group commit      : batch=%d hold=%d" % (args.group_commit, args.hold))
     print("committed         : %d (aborted %d, deadlocks %d)"
@@ -344,9 +372,10 @@ def cmd_run(args) -> int:
     print("avg batch size    : %.2f" % metrics.avg_batch_size)
     print("forces/commit     : %.2f" % metrics.forces_per_commit)
     print("commit stall ticks: %d" % metrics.commit_stall_ticks)
-    if trace is not None:
-        count = trace.dump_jsonl(args.trace_out)
-        print("trace             : %d events -> %s" % (count, args.trace_out))
+    if trace_count is not None:
+        print(
+            "trace             : %d events -> %s" % (trace_count, args.trace_out)
+        )
     return 0
 
 
@@ -356,6 +385,7 @@ def cmd_torture(args) -> int:
 
     _check_group_commit_args(args)
     _check_workload_args(args)
+    _check_parallel_args(args)
     _check_min(
         args,
         (
@@ -389,22 +419,28 @@ def cmd_torture(args) -> int:
         hold=args.hold,
         bug=args.inject_bug,
     )
+    seed = args.seed_base + args.seed
     trace = None
-    if args.trace_out:
+    if args.trace_out and args.workers == 1:
         from .runtime.trace import TraceCollector
 
         trace = TraceCollector()
     report = run_torture(
         configs,
         schedules=args.schedules,
-        seed=args.seed,
+        seed=seed,
         max_faults=args.max_faults,
         retry=RetryPolicy(max_retries=args.max_retries),
         trace=trace,
+        workers=args.workers,
+        trace_out=args.trace_out if args.workers > 1 else None,
     )
     print(report.format())
     if trace is not None:
         count = trace.dump_jsonl(args.trace_out)
+        print("trace: %d events -> %s" % (count, args.trace_out))
+    elif args.trace_out and args.workers > 1:
+        count = _count_jsonl(args.trace_out)
         print("trace: %d events -> %s" % (count, args.trace_out))
     return 0 if report.ok else 1
 
@@ -481,9 +517,24 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="run a concurrency comparison")
     p.add_argument("workload", help="hotspot|escrow|semiqueue|fifo|set|register")
     p.add_argument("--seeds", type=int, default=8)
+    p.add_argument(
+        "--seed-base",
+        type=int,
+        default=0,
+        metavar="B",
+        help="first seed of the sweep (seeds run B..B+seeds-1)",
+    )
     p.add_argument("--transactions", type=int, default=8)
     p.add_argument("--ops", type=int, default=3)
     p.add_argument("--opening", type=int, default=100)
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the (configuration, seed) cells over N worker processes "
+        "(1 = serial; output is byte-identical either way)",
+    )
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
@@ -494,6 +545,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--recovery", choices=["du", "uip"], default="du", help="recovery method"
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seed-base",
+        type=int,
+        default=0,
+        metavar="B",
+        help="offset added to --seed (shared with compare/torture sweeps)",
+    )
     p.add_argument("--transactions", type=int, default=8)
     p.add_argument("--ops", type=int, default=3)
     p.add_argument(
@@ -517,6 +575,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the structured run trace as JSONL (see `repro trace-report`)",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="route the run through the parallel engine's worker pool "
+        "(1 = serial; metrics are identical either way)",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -534,6 +600,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="recovery methods to torture (default: both)",
     )
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seed-base",
+        type=int,
+        default=0,
+        metavar="B",
+        help="offset added to --seed (shared with run/compare sweeps)",
+    )
     p.add_argument(
         "--schedules",
         type=int,
@@ -587,6 +660,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="write the structured trace of every schedule as JSONL",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan the schedules over N worker processes (1 = serial; "
+        "the report is byte-identical either way)",
     )
     p.set_defaults(func=cmd_torture)
 

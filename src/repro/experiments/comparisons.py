@@ -84,6 +84,99 @@ def standard_configurations(extra_symmetric: bool = True) -> Tuple[Configuration
     return tuple(configs)
 
 
+def configuration_by_label(label: str) -> Configuration:
+    """Resolve a standard configuration from its label.
+
+    This is how parallel workers rebuild a configuration: labels are
+    picklable, the conflict-factory closures are not.
+    """
+    by_label = {c.label: c for c in standard_configurations()}
+    if label not in by_label:
+        raise KeyError(
+            "unknown configuration %r (choose from: %s)"
+            % (label, ", ".join(sorted(by_label)))
+        )
+    return by_label[label]
+
+
+#: The named comparison workloads `repro compare` (and the parallel
+#: engine) can rebuild from a picklable name + plain knobs.
+COMPARE_WORKLOADS: Tuple[str, ...] = (
+    "hotspot",
+    "escrow",
+    "semiqueue",
+    "fifo",
+    "set",
+    "register",
+)
+
+
+def comparison_case(
+    workload: str,
+    *,
+    transactions: int = 8,
+    ops_per_txn: int = 3,
+    opening: int = 100,
+) -> Tuple[Callable[[], ADT], Callable[[random.Random], Sequence[TransactionScript]]]:
+    """``(adt_factory, workload_fn)`` for a named comparison workload.
+
+    The single source of truth behind ``repro compare`` and the
+    parallel ``compare`` cell executor: both sides rebuild the exact
+    same factories from ``(name, knobs)``, which is what makes the
+    parallel sweep byte-identical to the serial one.
+    """
+    cases: Dict[str, Tuple[Callable[[], ADT], Callable]] = {
+        "hotspot": (
+            lambda: BankAccount("BA", opening=opening),
+            lambda rng: hotspot_banking(
+                rng, transactions=transactions, ops_per_txn=ops_per_txn
+            ),
+        ),
+        "escrow": (
+            lambda: EscrowAccount("ESC", opening=opening),
+            lambda rng: escrow_workload(
+                rng, transactions=transactions, ops_per_txn=ops_per_txn
+            ),
+        ),
+        "semiqueue": (
+            lambda: SemiQueue("Q"),
+            lambda rng: producer_consumer(
+                rng,
+                obj="Q",
+                producers=transactions // 2,
+                consumers=transactions // 2,
+                ops_per_txn=ops_per_txn,
+            ),
+        ),
+        "fifo": (
+            lambda: FifoQueue("Q"),
+            lambda rng: producer_consumer(
+                rng,
+                obj="Q",
+                producers=transactions // 2,
+                consumers=transactions // 2,
+                ops_per_txn=ops_per_txn,
+            ),
+        ),
+        "set": (
+            lambda: SetADT("SET"),
+            lambda rng: set_membership_workload(
+                rng, transactions=transactions, ops_per_txn=ops_per_txn
+            ),
+        ),
+        "register": (
+            lambda: Register("REG"),
+            lambda rng: _register_workload(rng, transactions=transactions),
+        ),
+    }
+    if workload not in cases:
+        raise KeyError(
+            "unknown workload %r (choose from: %s)"
+            % (workload, ", ".join(sorted(cases)))
+        )
+    return cases[workload]
+
+
 def run_configuration(
     config: Configuration,
     adt_factory: Callable[[], ADT],
@@ -126,6 +219,102 @@ def compare(
         summarize(c.label, run_configuration(c, adt_factory, workload, seeds=seeds))
         for c in configurations
     ]
+
+
+def compare_cells(
+    workload: str,
+    *,
+    configurations: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = tuple(range(8)),
+    transactions: int = 8,
+    ops_per_txn: int = 3,
+    opening: int = 100,
+    max_restarts: int = 25,
+) -> List["Cell"]:
+    """The cell decomposition of one named comparison sweep.
+
+    Configuration-major, seed-minor — the same nesting as the serial
+    :func:`compare` loop, so merging results back in cell order
+    reproduces its summaries exactly.
+    """
+    from ..runtime.parallel import Cell
+
+    labels = list(
+        configurations
+        if configurations is not None
+        else [c.label for c in standard_configurations()]
+    )
+    cells = []
+    for c, label in enumerate(labels):
+        configuration_by_label(label)  # fail fast on unknown labels
+        for s, seed in enumerate(seeds):
+            cells.append(
+                Cell(
+                    index=c * len(seeds) + s,
+                    kind="compare",
+                    spec={
+                        "workload": workload,
+                        "config": label,
+                        "transactions": transactions,
+                        "ops": ops_per_txn,
+                        "opening": opening,
+                        "max_restarts": max_restarts,
+                        "label": "%s/%s" % (workload, label),
+                    },
+                    seed=seed,
+                )
+            )
+    return cells
+
+
+def compare_parallel(
+    workload: str,
+    *,
+    configurations: Optional[Sequence[str]] = None,
+    seeds: Sequence[int] = tuple(range(8)),
+    transactions: int = 8,
+    ops_per_txn: int = 3,
+    opening: int = 100,
+    max_restarts: int = 25,
+    workers: int = 1,
+) -> Tuple[List[MetricsSummary], List["CellResult"]]:
+    """:func:`compare` for a *named* workload, fanned over a process pool.
+
+    Returns ``(summaries, failed_cells)``.  The summaries are
+    byte-identical to the serial path whenever ``failed_cells`` is
+    empty; per the failed-cell contract, a configuration whose every
+    cell failed is dropped from the summaries and the survivors
+    aggregate only their completed seeds — callers must surface
+    ``failed_cells`` (the CLI prints them and exits 1).
+    """
+    from ..runtime.parallel import ParallelRunner
+
+    labels = list(
+        configurations
+        if configurations is not None
+        else [c.label for c in standard_configurations()]
+    )
+    cells = compare_cells(
+        workload,
+        configurations=labels,
+        seeds=seeds,
+        transactions=transactions,
+        ops_per_txn=ops_per_txn,
+        opening=opening,
+        max_restarts=max_restarts,
+    )
+    results = ParallelRunner(workers).run(cells)
+    failed = [r for r in results if not r.ok]
+    summaries = []
+    for c, label in enumerate(labels):
+        runs = [
+            r.value
+            for r in results[c * len(seeds) : (c + 1) * len(seeds)]
+            if r.ok
+        ]
+        if runs:
+            summaries.append(summarize(label, runs))
+    return summaries, failed
 
 
 # -- EXP-C1: the hot-spot account across operation mixes -------------------------

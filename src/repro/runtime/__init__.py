@@ -35,6 +35,16 @@ from .metrics import (
     summarize,
 )
 from .optimistic import OptimisticObject, OptimisticSystem, run_optimistic
+from .parallel import (
+    Cell,
+    CellResult,
+    ParallelRunner,
+    execute_cell,
+    register_executor,
+    shard_path,
+    stitch_trace_shards,
+    trace_shard_paths,
+)
 from .recovery import (
     DeferredUpdateManager,
     RecoveryManager,
@@ -50,6 +60,7 @@ from .torture import (
     Violation,
     audit_recovery,
     configs_for,
+    plan_campaign,
     run_schedule,
     run_torture,
 )
@@ -138,8 +149,17 @@ __all__ = [
     "Violation",
     "audit_recovery",
     "configs_for",
+    "plan_campaign",
     "run_schedule",
     "run_torture",
+    "Cell",
+    "CellResult",
+    "ParallelRunner",
+    "register_executor",
+    "execute_cell",
+    "shard_path",
+    "stitch_trace_shards",
+    "trace_shard_paths",
     "RuntimeModelError",
     "TransactionAborted",
     "DeadlockDetected",

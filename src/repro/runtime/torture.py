@@ -397,10 +397,16 @@ class TortureReport:
     violations: List[Violation] = field(default_factory=list)
     per_config: Dict[str, int] = field(default_factory=dict)
     counters: FaultCounters = field(default_factory=FaultCounters)
+    #: schedules a parallel campaign could not complete (worker death
+    #: past the retry budget, or an executor exception).  Per the
+    #: failed-cell contract these are *reported*, never silently
+    #: dropped: ``ok`` is False whenever any cell failed, and the
+    #: aggregates above cover completed schedules only.
+    failed: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.failed
 
     def format(self) -> str:
         lines = [
@@ -428,21 +434,24 @@ class TortureReport:
             lines.append("VIOLATIONS (%d):" % len(self.violations))
             for v in self.violations:
                 lines.append("  " + v.format())
-        else:
+        if self.failed:
+            lines.append("FAILED CELLS (%d):" % len(self.failed))
+            for entry in self.failed:
+                lines.append("  " + entry)
+        if not self.violations and not self.failed:
             lines.append("all invariants held")
         return "\n".join(lines)
 
 
-def run_torture(
+def plan_campaign(
     configs: Sequence[TortureConfig],
     *,
     schedules: int,
     seed: int = 0,
     max_faults: int = 2,
     retry: Optional[RetryPolicy] = None,
-    trace=None,
-) -> TortureReport:
-    """Run ``schedules`` fault schedules round-robin over the configs.
+) -> List[Tuple[TortureConfig, FaultPlan, int]]:
+    """The deterministic ``(config, plan, run_seed)`` assignment list.
 
     Schedule *i* goes to ``configs[i % len(configs)]``; per-schedule
     fault plans are drawn from a single master RNG seeded with ``seed``,
@@ -452,13 +461,17 @@ def run_torture(
     before/after-append placement — and the third is a *sampled*
     multi-fault plan over the config's profiled interaction horizon
     (torn forces, IO-error bursts, fault combinations).
+
+    Planning is separated from execution so the schedules can run in
+    any order (or on any worker): the RNG draws happen here, serially,
+    and each resulting cell is self-contained.
     """
     if not configs:
         raise ValueError("no torture configs")
     master = random.Random(seed)
-    report = TortureReport(seed=seed)
     horizons = {c.label(): profile_horizon(c, seed=seed) for c in configs}
     sweep_pos: Dict[str, int] = {c.label(): 0 for c in configs}
+    assignments: List[Tuple[TortureConfig, FaultPlan, int]] = []
     for i in range(schedules):
         config = configs[i % len(configs)]
         label = config.label()
@@ -479,19 +492,92 @@ def run_torture(
             plan = FaultPlan.sample(
                 master, horizon, max_faults=max_faults, retry=retry
             )
-        result = run_schedule(
-            config,
-            plan,
-            seed=master.randrange(2**31),
-            counters=report.counters,
-            trace=trace,
+        assignments.append((config, plan, master.randrange(2**31)))
+    return assignments
+
+
+def run_torture(
+    configs: Sequence[TortureConfig],
+    *,
+    schedules: int,
+    seed: int = 0,
+    max_faults: int = 2,
+    retry: Optional[RetryPolicy] = None,
+    trace=None,
+    workers: int = 1,
+    trace_out: Optional[str] = None,
+) -> TortureReport:
+    """Run ``schedules`` fault schedules round-robin over the configs.
+
+    See :func:`plan_campaign` for the schedule-assignment policy.  With
+    ``workers > 1`` the schedules fan out over a process pool (see
+    :mod:`repro.runtime.parallel`) and merge back in schedule order, so
+    the report is byte-identical to the serial campaign; tracing then
+    goes through per-worker shard files stitched into ``trace_out``
+    (pass ``trace_out``, not a shared ``trace`` collector).  Schedules
+    lost to a worker death are retried once and otherwise land in
+    ``report.failed``.
+    """
+    if workers > 1 and trace is not None:
+        raise ValueError(
+            "a shared trace collector cannot cross process boundaries; "
+            "use trace_out= with workers > 1"
         )
-        report.schedules += 1
-        report.crashes += result.crashes
-        report.committed += result.committed
-        report.faults_fired += result.faults_fired
-        report.violations.extend(result.violations)
-        report.per_config[result.config] = (
-            report.per_config.get(result.config, 0) + 1
+    assignments = plan_campaign(
+        configs,
+        schedules=schedules,
+        seed=seed,
+        max_faults=max_faults,
+        retry=retry,
+    )
+    report = TortureReport(seed=seed)
+    if workers <= 1:
+        for config, plan, run_seed in assignments:
+            result = run_schedule(
+                config,
+                plan,
+                seed=run_seed,
+                counters=report.counters,
+                trace=trace,
+            )
+            _merge_schedule(report, result)
+        return report
+
+    # Lazy import: parallel.py's executors import this module.
+    from .parallel import Cell, ParallelRunner
+
+    cells = [
+        Cell(
+            index=i,
+            kind="torture",
+            spec={"config": config, "plan": plan, "label": config.label()},
+            seed=run_seed,
         )
+        for i, (config, plan, run_seed) in enumerate(assignments)
+    ]
+    runner = ParallelRunner(workers, trace_base=trace_out)
+    for cell_result in runner.run(cells):
+        if not cell_result.ok:
+            config = assignments[cell_result.index][0]
+            report.failed.append(
+                "schedule %d (%s): %s"
+                % (cell_result.index, config.label(), cell_result.error)
+            )
+            continue
+        _merge_schedule(report, cell_result.value["result"])
+        report.counters.merge(cell_result.value["counters"])
     return report
+
+
+def _merge_schedule(report: TortureReport, result: ScheduleResult) -> None:
+    """Fold one schedule's outcome into the campaign report (additive and
+    order-respecting: calling this in schedule order reproduces the
+    serial campaign's report exactly)."""
+    report.schedules += 1
+    report.crashes += result.crashes
+    report.committed += result.committed
+    report.faults_fired += result.faults_fired
+    report.violations.extend(result.violations)
+    report.per_config[result.config] = (
+        report.per_config.get(result.config, 0) + 1
+    )
