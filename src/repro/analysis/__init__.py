@@ -24,7 +24,14 @@ from .alphabet import (
 )
 from .checker import CommutativityChecker
 from .finite import ExactChecker, is_finite_state
-from .tables import ConflictTable, OperationClass, render_ascii, render_markdown
+from .memo import PairMemo
+from .tables import (
+    ConflictTable,
+    OperationClass,
+    render_ascii,
+    render_markdown,
+    table_from_verdicts,
+)
 from .view_synthesis import RequiredConflict, ViewSynthesizer
 
 __all__ = [
@@ -36,8 +43,10 @@ __all__ = [
     "is_finite_state",
     "ConflictTable",
     "OperationClass",
+    "PairMemo",
     "render_ascii",
     "render_markdown",
+    "table_from_verdicts",
     "ViewSynthesizer",
     "RequiredConflict",
 ]

@@ -25,7 +25,7 @@ output on the paper's bank account to Figures 6-1 and 6-2.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.automaton_spec import StateMachineSpec
 from ..core.commutativity import (
@@ -38,7 +38,8 @@ from ..core.conflict import PairSetConflict
 from ..core.equieffective import LooksLikeViolation
 from ..core.events import Invocation, OpSeq, Operation
 from .alphabet import MacroContext, reachable_macro_contexts
-from .tables import ConflictTable, OperationClass
+from .memo import PairMemo
+from .tables import ConflictTable, OperationClass, table_from_verdicts
 
 MacroState = FrozenSet
 
@@ -76,8 +77,14 @@ class CommutativityChecker:
         self._contexts: List[MacroContext] = reachable_macro_contexts(
             spec, self.invocations, max_depth=context_depth, max_states=max_states
         )
-        self._fc_cache: Dict[Tuple[OpSeq, OpSeq], Optional[ForwardCommutativityViolation]] = {}
-        self._rbc_cache: Dict[Tuple[OpSeq, OpSeq], Optional[BackwardCommutativityViolation]] = {}
+        # FC is symmetric as a predicate (Lemma 8), but a violation object
+        # names (β, γ) asymmetrically — mirror only the clean verdict.
+        self._fc_cache: PairMemo = PairMemo(mirror=lambda v: v is None)
+        self._rbc_cache: PairMemo = PairMemo()
+        # Class-level verdicts are plain booleans; the FC table is fully
+        # symmetric, so both verdicts mirror.
+        self._fc_class_memo: PairMemo = PairMemo(mirror=True)
+        self._rbc_class_memo: PairMemo = PairMemo()
 
     # -- macro-state helpers ---------------------------------------------------
 
@@ -140,15 +147,9 @@ class CommutativityChecker:
         """A forward-commutativity violation for (beta, gamma), or None."""
         beta = as_opseq(beta)
         gamma = as_opseq(gamma)
-        key = (beta, gamma)
-        if key in self._fc_cache:
-            return self._fc_cache[key]
-        result = self._fc_violation_uncached(beta, gamma)
-        self._fc_cache[key] = result
-        # FC is symmetric (Lemma 8): record the mirrored verdict too.
-        if result is None:
-            self._fc_cache[(gamma, beta)] = None
-        return result
+        return self._fc_cache.lookup(
+            beta, gamma, lambda: self._fc_violation_uncached(beta, gamma)
+        )
 
     def _fc_violation_uncached(
         self, beta: OpSeq, gamma: OpSeq
@@ -199,10 +200,13 @@ class CommutativityChecker:
         """
         beta = as_opseq(beta)
         gamma = as_opseq(gamma)
-        key = (beta, gamma)
-        if key in self._rbc_cache:
-            return self._rbc_cache[key]
-        result = None
+        return self._rbc_cache.lookup(
+            beta, gamma, lambda: self._rbc_violation_uncached(beta, gamma)
+        )
+
+    def _rbc_violation_uncached(
+        self, beta: OpSeq, gamma: OpSeq
+    ) -> Optional[BackwardCommutativityViolation]:
         run = self.spec.run_macro
         for mc in self._contexts:
             m_gb = run(mc.macro, gamma + beta)
@@ -213,15 +217,13 @@ class CommutativityChecker:
             if future is not None:
                 seq_gb = mc.context + gamma + beta
                 seq_bg = mc.context + beta + gamma
-                result = BackwardCommutativityViolation(
+                return BackwardCommutativityViolation(
                     beta,
                     gamma,
                     mc.context,
                     LooksLikeViolation(seq_gb, seq_bg, future),
                 )
-                break
-        self._rbc_cache[key] = result
-        return result
+        return None
 
     def commute_forward(self, beta: OperationOrSeq, gamma: OperationOrSeq) -> bool:
         return self.fc_violation(beta, gamma) is None
@@ -283,16 +285,11 @@ class CommutativityChecker:
     ) -> ConflictTable:
         """The Figure 6-1-style table: ``x`` iff some instances fail to commute forward."""
         title = title or "Forward Commutativity Relation for %s" % self.spec.name
-        marks: Set[Tuple[str, str]] = set()
-        for row in classes:
-            for col in classes:
-                if (col.label, row.label) in marks:
-                    marks.add((row.label, col.label))
-                    continue
-                if self._class_violates(row, col, forward=True):
-                    marks.add((row.label, col.label))
-        return ConflictTable(
-            title, tuple(c.label for c in classes), frozenset(marks)
+        return table_from_verdicts(
+            title,
+            classes,
+            lambda row, col: self._class_violates(row, col, forward=True),
+            memo=self._fc_class_memo,
         )
 
     def backward_table(
@@ -303,13 +300,11 @@ class CommutativityChecker:
         title = title or (
             "Right Backward Commutativity Relation for %s" % self.spec.name
         )
-        marks: Set[Tuple[str, str]] = set()
-        for row in classes:
-            for col in classes:
-                if self._class_violates(row, col, forward=False):
-                    marks.add((row.label, col.label))
-        return ConflictTable(
-            title, tuple(c.label for c in classes), frozenset(marks)
+        return table_from_verdicts(
+            title,
+            classes,
+            lambda row, col: self._class_violates(row, col, forward=False),
+            memo=self._rbc_class_memo,
         )
 
     def _class_violates(

@@ -1,0 +1,74 @@
+"""A small shared memo for pairwise verdicts.
+
+The commutativity checker decides the same (β, γ) pair many times: once
+while deriving NFC/NRBC ground relations, again for every figure-style
+class table that mentions the pair's classes, and again whenever the
+same checker backs several experiments.  :class:`PairMemo` is the one
+memoization primitive behind all of those — a dictionary keyed by the
+ordered pair, with optional *mirroring* for relations with a known
+symmetry (forward commutativity is symmetric by Lemma 8, so a verdict
+for (β, γ) can be recorded for (γ, β) too) and hit/miss counters so
+benchmarks can assert the cache actually works.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Tuple, TypeVar, Union
+
+Verdict = TypeVar("Verdict")
+Key = Hashable
+
+#: When to copy a verdict to the swapped key: ``False`` — never (the
+#: relation is asymmetric, e.g. right backward commutativity); ``True``
+#: — always (the verdict is a symmetric predicate, e.g. class-level
+#: "some instances fail to commute forward"); a callable — only for
+#: verdicts it accepts (e.g. instance-level FC mirrors only the *clean*
+#: verdict, because a violation object names β and γ asymmetrically).
+MirrorRule = Union[bool, Callable[[object], bool]]
+
+
+class PairMemo:
+    """Memoized verdicts for ordered pairs, with optional symmetry mirroring."""
+
+    def __init__(self, *, mirror: MirrorRule = False):
+        self._table: Dict[Tuple[Key, Key], object] = {}
+        self._mirror = mirror
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, pair: Tuple[Key, Key]) -> bool:
+        return pair in self._table
+
+    def _should_mirror(self, verdict: object) -> bool:
+        if callable(self._mirror):
+            return self._mirror(verdict)
+        return bool(self._mirror)
+
+    def lookup(self, left: Key, right: Key, compute: Callable[[], Verdict]) -> Verdict:
+        """The memoized verdict for ``(left, right)``, computing on miss.
+
+        On a miss the result is stored for ``(left, right)`` and — when
+        the mirror rule accepts it — for ``(right, left)`` as well (never
+        overwriting an existing entry for the swapped pair).
+        """
+        key = (left, right)
+        if key in self._table:
+            self.hits += 1
+            return self._table[key]  # type: ignore[return-value]
+        self.misses += 1
+        verdict = compute()
+        self._table[key] = verdict
+        if left != right and self._should_mirror(verdict):
+            self._table.setdefault((right, left), verdict)
+        return verdict
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept: they describe the run)."""
+        self._table.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """``{"entries": ..., "hits": ..., "misses": ...}`` for reporting."""
+        return {"entries": len(self._table), "hits": self.hits, "misses": self.misses}

@@ -14,9 +14,10 @@ published ones.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core.events import Operation
+from .memo import PairMemo
 
 
 @dataclass(frozen=True)
@@ -97,6 +98,29 @@ def table_from_pairs(
             raise ValueError("pair (%r, %r) uses unknown labels" % (row, col))
         marks.add((row, col))
     return ConflictTable(title, labels, frozenset(marks))
+
+
+def table_from_verdicts(
+    title: str,
+    classes: Sequence[OperationClass],
+    verdict: Callable[[OperationClass, OperationClass], bool],
+    *,
+    memo: Optional[PairMemo] = None,
+) -> ConflictTable:
+    """Build a table by querying ``verdict(row, col)`` for every cell.
+
+    Verdicts are memoized by ``(row.label, col.label)`` through ``memo``
+    (a fresh unmirrored :class:`PairMemo` when not supplied), so passing
+    the checker's class-level memo makes repeated table builds — and the
+    symmetric half of an FC table — free.
+    """
+    memo = memo if memo is not None else PairMemo()
+    marks: Set[Tuple[str, str]] = set()
+    for row in classes:
+        for col in classes:
+            if memo.lookup(row.label, col.label, lambda r=row, c=col: verdict(r, c)):
+                marks.add((row.label, col.label))
+    return ConflictTable(title, tuple(c.label for c in classes), frozenset(marks))
 
 
 def render_ascii(table: ConflictTable) -> str:

@@ -93,7 +93,17 @@ from .object_automaton import (
     generate_trace,
 )
 from .serial_spec import LanguageSpec, SerialSpec, is_prefix_closed
-from .automaton_spec import FunctionalSpec, StateMachineSpec
+from .automaton_spec import FunctionalSpec, SpecStateCursor, StateMachineSpec
+from .view_cursors import (
+    CheckedViewCursor,
+    DUCursor,
+    RecomputeViewCursor,
+    SUIPCursor,
+    UIPCursor,
+    ViewCursor,
+    ViewCursorMismatch,
+    cursor_for_view,
+)
 from .theorems import (
     Counterexample,
     SampleReport,
@@ -141,6 +151,7 @@ __all__ = [
     "LanguageSpec",
     "StateMachineSpec",
     "FunctionalSpec",
+    "SpecStateCursor",
     "is_prefix_closed",
     # equieffectiveness
     "LooksLikeViolation",
@@ -177,6 +188,15 @@ __all__ = [
     "UIP",
     "DU",
     "SUIP",
+    # incremental view cursors
+    "ViewCursor",
+    "ViewCursorMismatch",
+    "UIPCursor",
+    "DUCursor",
+    "SUIPCursor",
+    "RecomputeViewCursor",
+    "CheckedViewCursor",
+    "cursor_for_view",
     # object automaton
     "ObjectAutomaton",
     "ResponseNotEnabled",

@@ -76,6 +76,13 @@ class _TxnState:
         self.committed_at: Set[str] = set()
         self.aborted_at: Set[str] = set()
 
+    def copy(self) -> "_TxnState":
+        twin = _TxnState()
+        twin.pending = self.pending
+        twin.committed_at = set(self.committed_at)
+        twin.aborted_at = set(self.aborted_at)
+        return twin
+
 
 def _check_well_formed(events: Sequence[Event]) -> None:
     """Raise :class:`IllFormedHistoryError` unless ``events`` is a history."""
@@ -400,6 +407,7 @@ class HistoryBuilder:
     def __init__(self, events: Iterable[Event] = ()):
         self._events: List[Event] = []
         self._txns: Dict[str, _TxnState] = {}
+        self._snapshot_cache: Optional[History] = None
         for e in events:
             self.append(e)
 
@@ -420,6 +428,7 @@ class HistoryBuilder:
                 probe.pending, probe.committed_at, probe.aborted_at = snapshot
             raise
         self._events.append(event)
+        self._snapshot_cache = None
 
     def _step(self, e: Event) -> None:
         st = self._txns.setdefault(e.txn, _TxnState())
@@ -456,6 +465,21 @@ class HistoryBuilder:
         else:  # pragma: no cover - defensive
             raise IllFormedHistoryError("unknown event kind", i, e)
 
+    def copy(self) -> "HistoryBuilder":
+        """An independent builder in the same state, without replaying.
+
+        Rebuilding a builder from a snapshot re-validates every event —
+        O(n) per copy.  ``copy`` duplicates the event list and the
+        per-transaction validation state directly, so cloning an
+        automaton mid-exploration is O(n) in list copying alone (no
+        re-validation) and the per-event work stays O(1).
+        """
+        twin = HistoryBuilder.__new__(HistoryBuilder)
+        twin._events = list(self._events)
+        twin._txns = {txn: st.copy() for txn, st in self._txns.items()}
+        twin._snapshot_cache = self._snapshot_cache
+        return twin
+
     def can_append(self, event: Event) -> bool:
         """True iff appending ``event`` would preserve well-formedness."""
         try:
@@ -485,8 +509,16 @@ class HistoryBuilder:
         self._txns[txn] = st
 
     def snapshot(self) -> History:
-        """An immutable :class:`History` of the events appended so far."""
-        return History(self._events, validate=False)
+        """An immutable :class:`History` of the events appended so far.
+
+        The snapshot is cached until the next append, so repeated reads
+        of an unchanged builder (the automaton's ``history`` property in
+        inspection-heavy code) cost O(1) instead of copying the event
+        list each time.
+        """
+        if self._snapshot_cache is None:
+            self._snapshot_cache = History(self._events, validate=False)
+        return self._snapshot_cache
 
     def pending_invocation(self, txn: str) -> Optional[InvocationEvent]:
         st = self._txns.get(txn)

@@ -24,6 +24,17 @@ responses in a state, and decide language membership for complete
 histories (``H ∈ L(I(X, Spec, View, Conflict))``), which is what the
 theorem machinery needs.  :func:`generate_trace` drives the automaton
 with randomized scheduling to sample its language.
+
+By default the automaton maintains its views **incrementally**: a
+:class:`~repro.core.view_cursors.ViewCursor` tracks each active
+transaction's ``View(H, A)`` (and the spec macro-state after it) under
+event deltas, so the legality precondition steps the spec NFA by one
+operation instead of recomputing the view from the raw history and
+replaying it from the initial states — O(Δ) amortized per event instead
+of O(n).  ``incremental=False`` selects the original from-scratch path
+(the equality oracle for the property suite and the EXP-C13 baseline);
+``check_cursors=True`` cross-validates every cursor answer against that
+path on the fly.
 """
 
 from __future__ import annotations
@@ -75,14 +86,35 @@ class _TxnOps:
 
 
 class ObjectAutomaton:
-    """Executable ``I(X, Spec, View, Conflict)`` for the object ``Spec.name``."""
+    """Executable ``I(X, Spec, View, Conflict)`` for the object ``Spec.name``.
 
-    def __init__(self, spec: SerialSpec, view: View, conflict: ConflictRelation):
+    ``incremental`` (default) maintains view opseqs and spec macro-states
+    via cursors, making per-event work O(Δ) amortized; ``False`` selects
+    the original recompute-from-history path.  ``check_cursors=True``
+    (implies incremental) cross-validates every cursor answer against the
+    from-scratch computation, raising
+    :class:`~repro.core.view_cursors.ViewCursorMismatch` on divergence.
+    """
+
+    def __init__(
+        self,
+        spec: SerialSpec,
+        view: View,
+        conflict: ConflictRelation,
+        *,
+        incremental: bool = True,
+        check_cursors: bool = False,
+    ):
         self.spec = spec
         self.view = view
         self.conflict = conflict
         self._builder = HistoryBuilder()
         self._active_ops: Dict[str, _TxnOps] = {}
+        self._incremental = incremental or check_cursors
+        self._check_cursors = check_cursors
+        self._cursor = (
+            view.cursor(spec, check=check_cursors) if self._incremental else None
+        )
 
     # -- state access ----------------------------------------------------------
 
@@ -95,15 +127,24 @@ class ObjectAutomaton:
         """An independent copy of the automaton in its current state.
 
         Exploration tools (e.g. the view synthesizer) branch over many
-        continuations of one state; cloning avoids re-validating the
-        shared prefix on every branch.
+        continuations of one state; cloning copies the builder's
+        validation state and forks the view cursor, so branches keep the
+        O(1)-prefix advantage instead of re-validating (or replaying the
+        spec over) the shared prefix.
         """
-        twin = ObjectAutomaton(self.spec, self.view, self.conflict)
-        twin._builder = HistoryBuilder(self._builder.snapshot())
+        twin = ObjectAutomaton(
+            self.spec,
+            self.view,
+            self.conflict,
+            incremental=self._incremental,
+            check_cursors=self._check_cursors,
+        )
+        twin._builder = self._builder.copy()
         twin._active_ops = {
             txn: _TxnOps(list(holder.ops))
             for txn, holder in self._active_ops.items()
         }
+        twin._cursor = self._cursor.fork() if self._cursor is not None else None
         return twin
 
     @property
@@ -135,13 +176,19 @@ class ObjectAutomaton:
                     return other
         return None
 
+    def _legal_responses(self, txn: str, invocation) -> FrozenSet[Hashable]:
+        """``Spec.responses(View(H, txn), invocation)`` via cursor or recompute."""
+        if self._cursor is not None:
+            return self._cursor.responses(txn, invocation)
+        serial_state = self.view(self._builder.snapshot(), txn)
+        return self.spec.responses(serial_state, invocation)
+
     def enabled_responses(self, txn: str) -> FrozenSet[Hashable]:
         """All responses ``R`` for which ``<R, X, txn>`` is enabled now."""
         pending = self._builder.pending_invocation(txn)
         if pending is None:
             return frozenset()
-        serial_state = self.view(self.history, txn)
-        candidates = self.spec.responses(serial_state, pending.invocation)
+        candidates = self._legal_responses(txn, pending.invocation)
         enabled: Set[Hashable] = set()
         for response in candidates:
             operation = self.spec.operation(pending.invocation, response)
@@ -158,8 +205,7 @@ class ObjectAutomaton:
         pending = self._builder.pending_invocation(txn)
         if pending is None:
             return frozenset()
-        serial_state = self.view(self.history, txn)
-        candidates = self.spec.responses(serial_state, pending.invocation)
+        candidates = self._legal_responses(txn, pending.invocation)
         blocked: Set[Hashable] = set()
         for response in candidates:
             operation = self.spec.operation(pending.invocation, response)
@@ -169,13 +215,17 @@ class ObjectAutomaton:
 
     # -- stepping ---------------------------------------------------------------
 
-    def step(self, event: Event) -> None:
+    def step(self, event: Event) -> Optional[Operation]:
         """Apply one event, enforcing the automaton's transition relation.
 
         Input events (invocation/commit/abort) are accepted whenever they
         preserve well-formedness; response events must additionally satisfy
         the conflict and legality preconditions, else
         :class:`ResponseNotEnabled` is raised and the state is unchanged.
+
+        Returns the completed :class:`Operation` for response events
+        (None for the other kinds), so callers need not rebuild it from
+        the history.
         """
         if event.obj != self.name:
             raise ValueError(
@@ -185,7 +235,10 @@ class ObjectAutomaton:
         if isinstance(event, ResponseEvent):
             completed = self._check_response(event)
         self._builder.append(event)
+        if self._cursor is not None:
+            self._cursor.apply(event)
         self._post_append(event, completed)
+        return completed
 
     def _check_response(self, event: ResponseEvent) -> Operation:
         pending = self._builder.pending_invocation(event.txn)
@@ -197,8 +250,12 @@ class ObjectAutomaton:
             raise ResponseNotEnabled(
                 event, "conflict", "conflicts with active transaction %s" % holder
             )
-        serial_state = self.view(self.history, event.txn)
-        if not self.spec.is_legal(tuple(serial_state) + (operation,)):
+        if self._cursor is not None:
+            legal = self._cursor.accepts(event.txn, operation)
+        else:
+            serial_state = self.view(self._builder.snapshot(), event.txn)
+            legal = self.spec.is_legal(tuple(serial_state) + (operation,))
+        if not legal:
             raise ResponseNotEnabled(
                 event,
                 "not-legal",
@@ -223,8 +280,9 @@ class ObjectAutomaton:
 
     def respond(self, txn: str, response: Hashable) -> Operation:
         """Deliver a response event; returns the completed operation."""
-        self.step(respond(response, self.name, txn))
-        return self.history.operations_of(txn)[-1]
+        completed = self.step(respond(response, self.name, txn))
+        assert completed is not None  # response events always complete an op
+        return completed
 
     def try_respond(self, txn: str) -> Optional[Operation]:
         """Respond with an arbitrary enabled response, or None if blocked."""
@@ -251,9 +309,16 @@ class ObjectAutomaton:
         view: View,
         conflict: ConflictRelation,
         history: History,
+        *,
+        incremental: bool = True,
     ) -> bool:
         """``history ∈ L(I(X, Spec, View, Conflict))``?"""
-        return cls.explain_rejection(spec, view, conflict, history) is None
+        return (
+            cls.explain_rejection(
+                spec, view, conflict, history, incremental=incremental
+            )
+            is None
+        )
 
     @classmethod
     def explain_rejection(
@@ -262,9 +327,11 @@ class ObjectAutomaton:
         view: View,
         conflict: ConflictRelation,
         history: History,
+        *,
+        incremental: bool = True,
     ) -> Optional[str]:
         """None if the history is a schedule of the automaton, else a reason."""
-        automaton = cls(spec, view, conflict)
+        automaton = cls(spec, view, conflict, incremental=incremental)
         for i, event in enumerate(history):
             try:
                 automaton.step(event)
@@ -301,6 +368,7 @@ def generate_trace(
     *,
     abort_probability: float = 0.0,
     max_steps: int = 10_000,
+    incremental: bool = True,
 ) -> History:
     """Sample a history from ``L(I(X, Spec, View, Conflict))``.
 
@@ -313,14 +381,23 @@ def generate_trace(
     if every remaining transaction is blocked, they are aborted so that
     the trace terminates.
 
+    Enabled-response sets are cached between steps and invalidated only
+    by events that can change them: a respond/commit/abort touching the
+    object invalidates everything (views and implicit locks move), while
+    an invocation invalidates only the invoking transaction (it adds a
+    pending invocation and nothing else).  The cache never changes which
+    set a step observes, so sampled traces are byte-identical for a
+    fixed seed, with or without it.
+
     Every returned history is, by construction, a schedule of the
     automaton — this is the sampling backend for the "if" directions of
     Theorems 9 and 10 in the test suite and benchmarks.
     """
-    automaton = ObjectAutomaton(spec, view, conflict)
+    automaton = ObjectAutomaton(spec, view, conflict, incremental=incremental)
     progress: Dict[str, int] = {p.txn: 0 for p in programs}
     by_txn: Dict[str, TransactionProgram] = {p.txn: p for p in programs}
     finished: Set[str] = set()  # committed or aborted
+    enabled_cache: Dict[str, FrozenSet[Hashable]] = {}
 
     for _step in range(max_steps):
         moves: List = []
@@ -329,7 +406,10 @@ def generate_trace(
                 continue
             pending = automaton.pending_invocation(txn)
             if pending is not None:
-                enabled = automaton.enabled_responses(txn)
+                enabled = enabled_cache.get(txn)
+                if enabled is None:
+                    enabled = automaton.enabled_responses(txn)
+                    enabled_cache[txn] = enabled
                 for response in enabled:
                     moves.append(("respond", txn, response))
                 if abort_probability > 0 and rng.random() < abort_probability:
@@ -352,19 +432,26 @@ def generate_trace(
             victim = rng.choice(stuck)
             automaton.abort(victim)
             finished.add(victim)
+            enabled_cache.clear()
             continue
         kind, txn, payload = rng.choice(moves)
         if kind == "invoke":
             automaton.invoke(txn, payload)
             progress[txn] += 1
+            # An invocation changes no view and holds no locks: only the
+            # invoking transaction's own enabled set is new.
+            enabled_cache.pop(txn, None)
         elif kind == "respond":
             automaton.respond(txn, payload)
+            enabled_cache.clear()
         elif kind == "commit":
             automaton.commit(txn)
             finished.add(txn)
+            enabled_cache.clear()
         elif kind == "abort":
             automaton.abort(txn)
             finished.add(txn)
+            enabled_cache.clear()
         if len(finished) == len(by_txn):
             break
     return automaton.history

@@ -37,7 +37,7 @@ abstract views.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List
+from typing import Iterable, List
 
 from .events import OpSeq, Operation
 from .history import History
@@ -51,6 +51,24 @@ class View(ABC):
     @abstractmethod
     def __call__(self, history: History, txn: str) -> OpSeq:
         """The operation sequence ``View(H, A)`` (``txn`` must be active in ``history``)."""
+
+    def cursor(self, spec, history: Iterable = (), *, check: bool = False):
+        """An incremental :class:`~repro.core.view_cursors.ViewCursor` companion.
+
+        The cursor maintains this view's operation sequences — and a
+        spec-state cursor per tracked view — under event deltas, so the
+        object automaton answers legality/response queries in O(1)
+        amortized instead of recomputing ``View(H, A)`` and replaying it
+        through ``spec``.  ``history`` seeds the cursor with an existing
+        event sequence; ``check=True`` cross-validates every answer
+        against the from-scratch computation (property-test mode).
+
+        Views without a dedicated cursor fall back to a from-scratch
+        recompute cursor with the same interface.
+        """
+        from .view_cursors import cursor_for_view
+
+        return cursor_for_view(self, spec, history, check=check)
 
     def _require_active(self, history: History, txn: str) -> None:
         if not history.is_active(txn):

@@ -1,0 +1,71 @@
+"""Unit tests for the shared pairwise-verdict memo."""
+
+import pytest
+
+from repro.analysis.memo import PairMemo
+
+
+def counting(verdict_fn):
+    calls = []
+
+    def compute_for(left, right):
+        def thunk():
+            calls.append((left, right))
+            return verdict_fn(left, right)
+
+        return thunk
+
+    return calls, compute_for
+
+
+class TestPairMemo:
+    def test_caches_by_ordered_pair(self):
+        memo = PairMemo()
+        calls, compute = counting(lambda a, b: (a, b))
+        assert memo.lookup("a", "b", compute("a", "b")) == ("a", "b")
+        assert memo.lookup("a", "b", compute("a", "b")) == ("a", "b")
+        assert calls == [("a", "b")]
+        assert memo.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_no_mirror_by_default(self):
+        memo = PairMemo()
+        calls, compute = counting(lambda a, b: (a, b))
+        memo.lookup("a", "b", compute("a", "b"))
+        assert memo.lookup("b", "a", compute("b", "a")) == ("b", "a")
+        assert calls == [("a", "b"), ("b", "a")]
+
+    def test_mirror_true_copies_verdict(self):
+        memo = PairMemo(mirror=True)
+        calls, compute = counting(lambda a, b: a < b)
+        assert memo.lookup("a", "b", compute("a", "b")) is True
+        # The mirrored entry answers without recomputing.
+        assert memo.lookup("b", "a", compute("b", "a")) is True
+        assert calls == [("a", "b")]
+        assert len(memo) == 2
+
+    def test_mirror_predicate(self):
+        # Instance-level FC style: mirror only the clean (None) verdict.
+        memo = PairMemo(mirror=lambda v: v is None)
+        memo.lookup("a", "b", lambda: None)
+        assert ("b", "a") in memo
+        memo.lookup("c", "d", lambda: "violation(c,d)")
+        assert ("d", "c") not in memo
+
+    def test_mirror_never_overwrites(self):
+        memo = PairMemo(mirror=True)
+        memo.lookup("b", "a", lambda: "first")
+        memo.lookup("a", "b", lambda: "second")
+        assert memo.lookup("b", "a", lambda: pytest.fail("recompute")) == "first"
+
+    def test_diagonal_not_double_counted(self):
+        memo = PairMemo(mirror=True)
+        memo.lookup("a", "a", lambda: True)
+        assert len(memo) == 1
+
+    def test_clear_keeps_counters(self):
+        memo = PairMemo()
+        memo.lookup("a", "b", lambda: 1)
+        memo.lookup("a", "b", lambda: 1)
+        memo.clear()
+        assert len(memo) == 0
+        assert memo.stats() == {"entries": 0, "hits": 1, "misses": 1}

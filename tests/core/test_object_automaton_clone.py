@@ -60,3 +60,38 @@ class TestClone:
             ba.states_after(t.history.opseq()) for t in branches
         ]
         assert states == [frozenset({1}), frozenset({0})]
+
+    def test_clone_cursors_are_deep_copies(self, automaton):
+        """Aborting in the original must not disturb the twin's cursors.
+
+        Regression for shallow cursor sharing: an abort rebuilds cursor
+        state in place, so a shared cursor would drop the twin's view of
+        A's deposit and wrongly disable withdraw(2) below.
+        """
+        ba, a = automaton  # A has deposited 2 and is still active
+        twin = a.clone()
+        a.abort("A")  # rebuild path: UIP filters A's ops out of the view
+        twin.invoke("B", inv("withdraw", 2))
+        # Under UIP the twin still sees A's deposit, so "ok" is legal
+        # (though blocked by the NRBC conflict with the active deposit).
+        assert twin.blocked_responses("B") == frozenset({"ok"})
+        # And the twin's answers equal a fresh recompute of its history.
+        replay = ObjectAutomaton(
+            ba, UIP, ba.nrbc_conflict(), incremental=False
+        )
+        for event in twin.history:
+            replay.step(event)
+        for txn in ("A", "B"):
+            assert twin.enabled_responses(txn) == replay.enabled_responses(txn)
+            assert twin.blocked_responses(txn) == replay.blocked_responses(txn)
+
+    def test_clone_of_recompute_automaton(self):
+        """incremental=False automata clone without any cursor to fork."""
+        ba = BankAccount(domain=(1, 2))
+        a = ObjectAutomaton(ba, UIP, ba.nrbc_conflict(), incremental=False)
+        a.invoke("A", inv("deposit", 1))
+        a.respond("A", "ok")
+        twin = a.clone()
+        twin.commit("A")
+        assert "A" in a.active_transactions()
+        assert twin._cursor is None and a._cursor is None
