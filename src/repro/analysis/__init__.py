@@ -23,6 +23,20 @@ from .alphabet import (
     reachable_operations,
 )
 from .checker import CommutativityChecker
+from .compile_tables import (
+    CompiledADTTables,
+    CompiledConflict,
+    CompiledTable,
+    compile_adt_tables,
+    compile_classifier,
+    compile_conflict_classes,
+    compile_table,
+    ground_compiled,
+    ground_pairs,
+    have_numpy,
+    maybe_compile,
+    pairwise_matrix,
+)
 from .finite import ExactChecker, is_finite_state
 from .memo import PairMemo
 from .tables import (
@@ -39,6 +53,18 @@ __all__ = [
     "reachable_macro_contexts",
     "reachable_operations",
     "CommutativityChecker",
+    "CompiledADTTables",
+    "CompiledConflict",
+    "CompiledTable",
+    "compile_adt_tables",
+    "compile_classifier",
+    "compile_conflict_classes",
+    "compile_table",
+    "ground_compiled",
+    "ground_pairs",
+    "have_numpy",
+    "maybe_compile",
+    "pairwise_matrix",
     "ExactChecker",
     "is_finite_state",
     "ConflictTable",

@@ -1,0 +1,520 @@
+"""Compile conflict relations into dense integer bitmask tables.
+
+Conflict checks (NFC/NRBC) sit on every lock acquisition and every step
+of the dynamic-atomicity checker, yet the relations behind them are
+evaluated as per-pair Python verdict calls — a classifier invocation and
+a set lookup per ``(new, old)`` pair, memoized at best through
+:class:`~repro.analysis.memo.PairMemo`.  The paper's structural point is
+that the recovery view determines *which* conflict table is legal, so
+the table itself should be a compiled, queryable artifact.
+
+This module is that compiler.  An operation-class alphabet is assigned
+dense integer indices; each relation becomes one integer bitmask per
+class (:class:`CompiledTable`): bit ``j`` of ``masks[i]`` is set iff the
+``(class_i, class_j)`` entry is marked, oriented ``(new, old)`` like
+everything else in the library.  :class:`CompiledConflict` packages a
+compiled table with an operation classifier (plus the optional
+argument-level ``refine`` predicate of
+:class:`~repro.core.conflict.ClassifierConflict`), so the hot-path
+question "does ``new`` conflict with anything ``B`` holds?" collapses to
+one cached classification and one integer AND against a per-transaction
+*held mask* — the fast path the lock manager and the object automaton
+query (see EXP-C14 in ``benchmarks/bench_conflict_tables.py``).
+
+Batch consumers (the dynamic-atomicity checker's replay over a whole
+history) use the **vectorized pairwise pass**: classify every operation
+once, then gather the full ``n × n`` verdict matrix from the dense class
+table in one numpy indexing operation (:func:`pairwise_matrix`), with a
+pure-Python bit-scan fallback when numpy is absent.  numpy is an
+optional extra (``pip install repro[fast]``); ``REPRO_NO_NUMPY=1``
+forces the fallback and ``REPRO_INTERPRETED_CONFLICTS=1`` disables
+compiled tables entirely (the differential-testing flag).
+
+Compilation sources, in decreasing order of directness:
+
+* a :class:`~repro.core.conflict.ClassifierConflict` (what every ADT's
+  ``nfc_conflict``/``nrbc_conflict`` returns) compiles by reading its
+  matrix — no checker run (:func:`compile_classifier`);
+* a class-level :class:`~repro.analysis.tables.ConflictTable` compiles
+  directly (:func:`compile_table`);
+* an arbitrary relation compiles over explicit operation classes by
+  querying the relation on the instance cross product through
+  :func:`~repro.analysis.tables.table_from_verdicts` and a
+  :class:`~repro.analysis.memo.PairMemo`
+  (:func:`compile_conflict_classes` — exact when the relation is
+  class-level, a conservative class lift otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.conflict import ClassifierConflict, ConflictRelation
+from ..core.events import Operation
+from .memo import PairMemo
+from .tables import ConflictTable, OperationClass, table_from_verdicts
+
+#: sentinel for the lazily-imported numpy module (None = unavailable).
+_UNSET = object()
+_np_module = _UNSET
+
+
+def _numpy():
+    """The numpy module, or None when absent or gated off.
+
+    ``REPRO_NO_NUMPY=1`` is checked on every call (not just the first)
+    so tests can flip the gate with ``monkeypatch.setenv``; the import
+    attempt itself is cached.
+    """
+    global _np_module
+    if os.environ.get("REPRO_NO_NUMPY") == "1":
+        return None
+    if _np_module is _UNSET:
+        try:
+            import numpy  # noqa: PLC0415 — optional dependency, lazy by design
+
+            _np_module = numpy
+        except ImportError:  # pragma: no cover — exercised via subprocess test
+            _np_module = None
+    return _np_module
+
+
+def have_numpy() -> bool:
+    """True iff the vectorized pairwise pass is available right now."""
+    return _numpy() is not None
+
+
+def interpreted_forced() -> bool:
+    """True iff ``REPRO_INTERPRETED_CONFLICTS=1`` disables compiled tables."""
+    return os.environ.get("REPRO_INTERPRETED_CONFLICTS") == "1"
+
+
+@dataclass(frozen=True)
+class CompiledTable:
+    """A class-level conflict matrix as dense integer bitmasks.
+
+    ``masks[i]`` has bit ``j`` set iff ``(labels[i], labels[j])`` is a
+    marked (conflicting) entry, oriented ``(new, old)``.  Equality is
+    structural, so two compilations of the same table compare equal.
+    """
+
+    labels: Tuple[Hashable, ...]
+    masks: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.labels) != len(self.masks):
+            raise ValueError(
+                "labels/masks length mismatch: %d vs %d"
+                % (len(self.labels), len(self.masks))
+            )
+        if len(set(self.labels)) != len(self.labels):
+            raise ValueError("duplicate class labels")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+    def index(self) -> Dict[Hashable, int]:
+        """The label → class-index assignment."""
+        return {label: i for i, label in enumerate(self.labels)}
+
+    def conflicts_idx(self, new_idx: int, old_idx: int) -> bool:
+        """The ``(new, old)`` verdict by class index — one shift and AND."""
+        return bool((self.masks[new_idx] >> old_idx) & 1)
+
+    def marked(self, row: Hashable, col: Hashable) -> bool:
+        """The verdict by class label (raises KeyError for unknown labels)."""
+        idx = self.index()
+        return self.conflicts_idx(idx[row], idx[col])
+
+    def is_symmetric(self) -> bool:
+        return all(
+            self.conflicts_idx(i, j) == self.conflicts_idx(j, i)
+            for i in range(len(self.labels))
+            for j in range(len(self.labels))
+        )
+
+    def marks(self) -> Tuple[Tuple[Hashable, Hashable], ...]:
+        """The marked ``(row, col)`` label pairs, row-major."""
+        return tuple(
+            (row, col)
+            for i, row in enumerate(self.labels)
+            for j, col in enumerate(self.labels)
+            if self.conflicts_idx(i, j)
+        )
+
+    def to_conflict_table(self, title: str) -> ConflictTable:
+        """Decompile back into the figure-style table (labels must be str)."""
+        return ConflictTable(
+            title,
+            tuple(str(label) for label in self.labels),
+            frozenset((str(r), str(c)) for r, c in self.marks()),
+        )
+
+    def dense(self, np=None):
+        """The matrix as a numpy bool array (requires numpy)."""
+        np = np if np is not None else _numpy()
+        if np is None:
+            raise RuntimeError("numpy is not available (install repro[fast])")
+        k = len(self.labels)
+        out = np.zeros((k, k), dtype=bool)
+        for i, mask in enumerate(self.masks):
+            m = mask
+            while m:
+                j = (m & -m).bit_length() - 1
+                out[i, j] = True
+                m &= m - 1
+        return out
+
+
+def compile_table(table: ConflictTable) -> CompiledTable:
+    """Compile a figure-style :class:`ConflictTable` into bitmasks."""
+    index = {label: i for i, label in enumerate(table.labels)}
+    masks = [0] * len(table.labels)
+    for row, col in table.marks:
+        masks[index[row]] |= 1 << index[col]
+    return CompiledTable(tuple(table.labels), tuple(masks))
+
+
+class CompiledConflict(ConflictRelation):
+    """A conflict relation answered from a compiled bitmask table.
+
+    ``classify`` maps a ground operation to its class label; labels are
+    assigned dense indices on first sight.  A label outside the compiled
+    table is handled per ``on_unknown``:
+
+    * ``"grow"`` (class-level tables) — the label gets a fresh index
+      whose row mask is 0, matching
+      :class:`~repro.core.conflict.ClassifierConflict`'s "pair not in
+      the matrix" verdict of False;
+    * ``"error"`` (ground tables built by :func:`ground_compiled`, where
+      the label universe is exactly the enumerated alphabet) — raise
+      ``KeyError`` rather than silently report no conflict.
+
+    ``refine`` mirrors :class:`ClassifierConflict`: a class-level hit may
+    be weakened by the argument-level predicate, so the bitmask answer is
+    an exact superset and the refine call runs only on hits.
+    """
+
+    def __init__(
+        self,
+        classify: Callable[[Operation], Hashable],
+        table: CompiledTable,
+        *,
+        refine: Optional[Callable[[Operation, Operation], bool]] = None,
+        on_unknown: str = "grow",
+        name: str = "compiled",
+    ):
+        if on_unknown not in ("grow", "error"):
+            raise ValueError("on_unknown must be 'grow' or 'error'")
+        self._classify = classify
+        self._labels: List[Hashable] = list(table.labels)
+        self._index: Dict[Hashable, int] = {
+            label: i for i, label in enumerate(self._labels)
+        }
+        self._masks: List[int] = list(table.masks)
+        self._refine = refine
+        self._on_unknown = on_unknown
+        self.name = name
+        #: operation → class index, filled on demand.  Operations are
+        #: frozen dataclasses, so the cache is sound; it is the reason a
+        #: hot-path query costs a dict hit instead of a classify call.
+        self._op_index: Dict[Operation, int] = {}
+
+    # -- classification ---------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[Hashable, ...]:
+        return tuple(self._labels)
+
+    @property
+    def refine(self) -> Optional[Callable[[Operation, Operation], bool]]:
+        return self._refine
+
+    @property
+    def table(self) -> CompiledTable:
+        return CompiledTable(tuple(self._labels), tuple(self._masks))
+
+    def class_index(self, operation: Operation) -> int:
+        """The dense class index of ``operation`` (cached)."""
+        idx = self._op_index.get(operation)
+        if idx is None:
+            label = self._classify(operation)
+            idx = self._index.get(label)
+            if idx is None:
+                if self._on_unknown == "error":
+                    raise KeyError(
+                        "operation %s classifies to unknown label %r"
+                        % (operation, label)
+                    )
+                idx = len(self._labels)
+                self._labels.append(label)
+                self._index[label] = idx
+                self._masks.append(0)
+            self._op_index[operation] = idx
+        return idx
+
+    def row_mask(self, operation: Operation) -> int:
+        """The held-class bitmask ``operation`` conflicts with (as *new*)."""
+        return self._masks[self.class_index(operation)]
+
+    def held_bit(self, operation: Operation) -> int:
+        """The single-bit mask contributed by holding ``operation``."""
+        return 1 << self.class_index(operation)
+
+    # -- the relation -----------------------------------------------------------
+
+    def conflicts(self, new: Operation, old: Operation) -> bool:
+        if not (self._masks[self.class_index(new)] >> self.class_index(old)) & 1:
+            return False
+        if self._refine is not None:
+            return bool(self._refine(new, old))
+        return True
+
+
+def compile_classifier(
+    conflict: ClassifierConflict, *, name: Optional[str] = None
+) -> CompiledConflict:
+    """Compile a :class:`ClassifierConflict` by reading its matrix.
+
+    This is the zero-cost path: every ADT's ``nfc_conflict`` /
+    ``nrbc_conflict`` (hand-derived and mechanically-derived alike) is a
+    ``ClassifierConflict``, so the runtime compiles them without running
+    the commutativity checker.
+    """
+    labels = sorted(
+        {label for pair in conflict.matrix for label in pair}, key=repr
+    )
+    index = {label: i for i, label in enumerate(labels)}
+    masks = [0] * len(labels)
+    for row, col in conflict.matrix:
+        masks[index[row]] |= 1 << index[col]
+    return CompiledConflict(
+        conflict.classify,
+        CompiledTable(tuple(labels), tuple(masks)),
+        refine=conflict.refine,
+        name=name or "compiled(%s)" % conflict.name,
+    )
+
+
+def maybe_compile(conflict: ConflictRelation) -> Optional[CompiledConflict]:
+    """A compiled form of ``conflict``, or None when not compilable.
+
+    Already-compiled relations pass through; classifier relations
+    compile from their matrix; anything else (predicates, unions, pair
+    sets without a classifier) stays interpreted.  Returns None
+    unconditionally when ``REPRO_INTERPRETED_CONFLICTS=1`` — the global
+    differential-testing switch.
+    """
+    if interpreted_forced():
+        return None
+    if isinstance(conflict, CompiledConflict):
+        return conflict
+    if isinstance(conflict, ClassifierConflict):
+        return compile_classifier(conflict)
+    return None
+
+
+def compile_conflict_classes(
+    conflict: ConflictRelation,
+    classes: Sequence[OperationClass],
+    classify: Callable[[Operation], Hashable],
+    *,
+    name: Optional[str] = None,
+    memo: Optional[PairMemo] = None,
+) -> CompiledConflict:
+    """Compile an arbitrary relation over an explicit class alphabet.
+
+    The class-level verdict is "some instance pair conflicts", queried
+    through :func:`table_from_verdicts` (and therefore memoized by
+    ``memo``).  Exact when ``conflict`` is class-level (constant on each
+    class cross product); a conservative class lift otherwise.
+    """
+
+    def verdict(row: OperationClass, col: OperationClass) -> bool:
+        return any(
+            conflict.conflicts(a, b)
+            for a in row.instances
+            for b in col.instances
+        )
+
+    table = table_from_verdicts(
+        name or "compiled(%s)" % conflict.name, classes, verdict, memo=memo
+    )
+    return CompiledConflict(
+        classify,
+        compile_table(table),
+        name=name or "compiled(%s)" % conflict.name,
+    )
+
+
+@dataclass(frozen=True)
+class CompiledADTTables:
+    """Both compiled relations of one ADT, plus the alphabet they cover."""
+
+    adt_name: str
+    classes: Tuple[OperationClass, ...]
+    nfc: CompiledConflict
+    nrbc: CompiledConflict
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(str(c.label) for c in self.classes)
+
+
+def compile_adt_tables(adt, domain=None) -> CompiledADTTables:
+    """Compile an ADT's NFC and NRBC relations into bitmask tables.
+
+    ``adt`` is a :class:`~repro.adts.base.ADT`; its analytic relations
+    (hand-derived or checker-derived, both ``ClassifierConflict``) are
+    compiled matrix-to-mask, so this runs the commutativity checker only
+    if the ADT itself derives its relations mechanically.
+    """
+    classes = tuple(adt.operation_classes(domain))
+    nfc = maybe_compile(adt.nfc_conflict(domain))
+    nrbc = maybe_compile(adt.nrbc_conflict(domain))
+    if nfc is None or nrbc is None:
+        # Either the flag forces interpretation (compile anyway: callers
+        # of this function asked explicitly) or the ADT returned a
+        # non-classifier relation: lift it over the class alphabet.
+        nfc_rel = adt.nfc_conflict(domain)
+        nrbc_rel = adt.nrbc_conflict(domain)
+        nfc = (
+            compile_classifier(nfc_rel)
+            if isinstance(nfc_rel, ClassifierConflict)
+            else compile_conflict_classes(nfc_rel, classes, adt.classify)
+        )
+        nrbc = (
+            compile_classifier(nrbc_rel)
+            if isinstance(nrbc_rel, ClassifierConflict)
+            else compile_conflict_classes(nrbc_rel, classes, adt.classify)
+        )
+    return CompiledADTTables(adt.name, classes, nfc, nrbc)
+
+
+# -- the vectorized pairwise pass ----------------------------------------------
+
+
+def pairwise_matrix(
+    conflict: ConflictRelation,
+    new_ops: Sequence[Operation],
+    old_ops: Optional[Sequence[Operation]] = None,
+    *,
+    vectorized: Optional[bool] = None,
+) -> List[List[bool]]:
+    """The full ``conflicts(new, old)`` verdict matrix over two alphabets.
+
+    This is the pairwise pass batch consumers (the dynamic-atomicity
+    checker's history replay, relation comparisons over ground
+    alphabets) run.  ``vectorized=None`` picks numpy automatically when
+    it is available *and* the relation compiles to a class table; the
+    pure-Python path scans bitmask rows.  Both paths return a plain list
+    of lists of bools, verdict-identical by construction — the property
+    suite asserts it, and ``vectorized=True`` raises rather than
+    silently degrade (RuntimeError without numpy, ValueError for an
+    uncompilable relation).
+    """
+    new_ops = list(new_ops)
+    old_ops = list(old_ops) if old_ops is not None else new_ops
+    compiled = maybe_compile(conflict)
+    np = _numpy()
+    if vectorized is True:
+        if np is None:
+            raise RuntimeError(
+                "vectorized pairwise pass requires numpy (install repro[fast])"
+            )
+        if compiled is None:
+            raise ValueError(
+                "relation %r does not compile to a class table" % conflict.name
+            )
+    use_vector = (
+        vectorized
+        if vectorized is not None
+        else (np is not None and compiled is not None)
+    )
+    if use_vector:
+        new_idx = np.array(
+            [compiled.class_index(o) for o in new_ops], dtype=np.intp
+        )
+        old_idx = np.array(
+            [compiled.class_index(o) for o in old_ops], dtype=np.intp
+        )
+        # Indices first, dense table second: classification may grow the
+        # label universe, and the gather must cover every index seen.
+        dense = compiled.table.dense(np)
+        out = dense[new_idx[:, None], old_idx[None, :]]
+        if compiled.refine is not None:
+            # Argument-level refinement only ever weakens a class hit, so
+            # the scalar fixup touches exactly the True cells.
+            for i, j in zip(*out.nonzero()):
+                out[i, j] = bool(compiled.refine(new_ops[i], old_ops[j]))
+        return [[bool(v) for v in row] for row in out]
+    relation = compiled if compiled is not None else conflict
+    return [
+        [bool(relation.conflicts(new, old)) for old in old_ops]
+        for new in new_ops
+    ]
+
+
+def ground_compiled(
+    conflict: ConflictRelation,
+    alphabet: Sequence[Operation],
+    *,
+    vectorized: Optional[bool] = None,
+    name: Optional[str] = None,
+) -> CompiledConflict:
+    """Precompute ``conflict`` over a ground alphabet as a bitmask table.
+
+    Each distinct operation becomes its own class (identity classifier),
+    so later queries over the alphabet are pure bit tests — no classify
+    call, no refine call.  Used by the dynamic-atomicity checker to
+    replay a whole history against one precomputed table; queries
+    outside the alphabet raise (``on_unknown="error"``) instead of
+    guessing.
+    """
+    alphabet = list(dict.fromkeys(alphabet))  # dedupe, keep first-seen order
+    matrix = pairwise_matrix(conflict, alphabet, vectorized=vectorized)
+    masks = [0] * len(alphabet)
+    for i, row in enumerate(matrix):
+        mask = 0
+        for j, hit in enumerate(row):
+            if hit:
+                mask |= 1 << j
+        masks[i] = mask
+    return CompiledConflict(
+        lambda operation: operation,
+        CompiledTable(tuple(alphabet), tuple(masks)),
+        on_unknown="error",
+        name=name or "ground(%s)" % conflict.name,
+    )
+
+
+def ground_pairs(
+    conflict: ConflictRelation,
+    alphabet: Sequence[Operation],
+    *,
+    vectorized: Optional[bool] = None,
+):
+    """All conflicting ``(new, old)`` pairs over a finite alphabet.
+
+    The batch counterpart of
+    :meth:`~repro.core.conflict.ConflictRelation.pairs`, answered through
+    the pairwise pass; returns a frozenset for drop-in comparison.
+    """
+    alphabet = list(alphabet)
+    matrix = pairwise_matrix(conflict, alphabet, vectorized=vectorized)
+    return frozenset(
+        (alphabet[i], alphabet[j])
+        for i, row in enumerate(matrix)
+        for j, hit in enumerate(row)
+        if hit
+    )

@@ -187,6 +187,16 @@ class ClassifierConflict(ConflictRelation):
     def matrix(self) -> FrozenSet[Tuple[Hashable, Hashable]]:
         return self._matrix
 
+    @property
+    def refine(self) -> Callable[[Operation, Operation], bool]:
+        """The argument-level refinement predicate (None when absent).
+
+        Exposed so the table compiler
+        (:mod:`repro.analysis.compile_tables`) can carry the refinement
+        into the compiled bitmask form unchanged.
+        """
+        return self._refine
+
 
 class UnionConflict(ConflictRelation):
     """The union of several conflict relations (conflicts if any member does)."""

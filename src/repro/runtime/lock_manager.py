@@ -14,6 +14,17 @@ when the transaction commits or aborts.
 * :meth:`acquire` — record an executed operation (a held lock);
 * :meth:`release_all` — commit/abort processing.
 
+The conflict test is the system's hottest path, so when the relation
+compiles to a bitmask table (every ADT's NFC/NRBC relation does — see
+:mod:`repro.analysis.compile_tables`) the manager maintains one integer
+*held mask* per transaction (the OR of the held operations' class bits)
+and answers :meth:`blockers` with one cached classification plus one
+integer AND per holder, instead of a Python verdict call per held
+operation.  The interpreted path is kept behind a flag
+(``compiled=False``, or ``REPRO_INTERPRETED_CONFLICTS=1`` globally) for
+differential testing: both paths are verdict-identical, which the
+differential fuzz suite and EXP-C14 assert.
+
 :class:`WaitsForGraph` aggregates blocking edges across all objects of a
 system and detects cycles, so the scheduler can pick deadlock victims.
 Both structures are deliberately simple and deterministic — they are a
@@ -23,18 +34,58 @@ exercise in lock-manager engineering.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple, Union
 
+from ..analysis.compile_tables import CompiledConflict, maybe_compile
 from ..core.conflict import ConflictRelation
 from ..core.events import Operation
+
+#: ``compiled=`` argument: "auto" compiles when the relation allows it,
+#: True insists (raising for uncompilable relations), False forces the
+#: interpreted path, and a :class:`CompiledConflict` is used as given.
+CompiledArg = Union[str, bool, CompiledConflict]
+
+
+def resolve_compiled(
+    conflict: ConflictRelation, compiled: CompiledArg
+) -> Optional[CompiledConflict]:
+    """The compiled table to use for ``conflict``, or None (interpreted)."""
+    if compiled is False:
+        return None
+    if isinstance(compiled, CompiledConflict):
+        return compiled
+    resolved = maybe_compile(conflict)
+    if compiled is True and resolved is None:
+        raise ValueError(
+            "conflict relation %r does not compile to a bitmask table"
+            % conflict.name
+        )
+    if compiled not in (True, "auto"):
+        raise ValueError("compiled must be 'auto', True, False or a CompiledConflict")
+    return resolved
 
 
 class LockManager:
     """Operation locks for one object under a given conflict relation."""
 
-    def __init__(self, conflict: ConflictRelation):
+    def __init__(self, conflict: ConflictRelation, *, compiled: CompiledArg = "auto"):
         self.conflict = conflict
         self._held: Dict[str, List[Operation]] = {}
+        #: the compiled bitmask table, or None on the interpreted path.
+        self.compiled: Optional[CompiledConflict] = resolve_compiled(
+            conflict, compiled
+        )
+        #: per-transaction OR of held operations' class bits (compiled only).
+        self._held_masks: Dict[str, int] = {}
+        #: per-transaction class indices aligned with ``_held`` (compiled
+        #: only) — lets refine-carrying relations rescan a holder with
+        #: plain bit tests instead of re-classifying held operations.
+        self._held_idx: Dict[str, List[int]] = {}
+
+    @property
+    def mode(self) -> str:
+        """``"compiled"`` or ``"interpreted"`` — which path answers queries."""
+        return "compiled" if self.compiled is not None else "interpreted"
 
     def held_by(self, txn: str) -> Tuple[Operation, ...]:
         """The operations (implicit locks) currently held by ``txn``."""
@@ -46,7 +97,30 @@ class LockManager:
 
     def blockers(self, txn: str, operation: Operation) -> FrozenSet[str]:
         """Other transactions whose held operations conflict with ``operation``."""
-        blocking: Set[str] = set()
+        compiled = self.compiled
+        if compiled is not None:
+            row = compiled.row_mask(operation)
+            if compiled.refine is None:
+                return frozenset(
+                    other
+                    for other, mask in self._held_masks.items()
+                    if other != txn and row & mask
+                )
+            # A class-level hit may be weakened by the argument-level
+            # refinement; the mask test prunes holders with no hit at
+            # all, and survivors rescan with precomputed class indices —
+            # one bit test per held operation, refine only on class hits.
+            refine = compiled.refine
+            blocking: Set[str] = set()
+            for other, mask in self._held_masks.items():
+                if other == txn or not row & mask:
+                    continue
+                for old, old_idx in zip(self._held[other], self._held_idx[other]):
+                    if (row >> old_idx) & 1 and refine(operation, old):
+                        blocking.add(other)
+                        break
+            return frozenset(blocking)
+        blocking = set()
         for other, ops in self._held.items():
             if other == txn:
                 continue
@@ -64,8 +138,9 @@ class LockManager:
         Unlike :meth:`blockers` this does not stop at the first
         conflicting hold per transaction: the full list attributes a
         blocked attempt to each conflict-table entry involved.  Only
-        called on the traced path (contention attribution), so the
-        extra work never touches untraced runs.
+        called on the traced path (contention attribution), so it keeps
+        the interpreted per-pair walk — verdicts are identical on both
+        paths, and the extra work never touches untraced runs.
         """
         hits: List[Tuple[str, Operation]] = []
         for other, ops in self._held.items():
@@ -83,9 +158,15 @@ class LockManager:
     def acquire(self, txn: str, operation: Operation) -> None:
         """Record an executed operation; caller must have checked blockers."""
         self._held.setdefault(txn, []).append(operation)
+        if self.compiled is not None:
+            idx = self.compiled.class_index(operation)
+            self._held_masks[txn] = self._held_masks.get(txn, 0) | (1 << idx)
+            self._held_idx.setdefault(txn, []).append(idx)
 
     def release_all(self, txn: str) -> Tuple[Operation, ...]:
         """Drop every lock of ``txn`` (commit or abort); returns what was held."""
+        self._held_masks.pop(txn, None)
+        self._held_idx.pop(txn, None)
         return tuple(self._held.pop(txn, ()))
 
 

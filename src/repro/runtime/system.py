@@ -68,10 +68,14 @@ class ManagedObject:
         *,
         uip_strategy: str = "auto",
         response_chooser=None,
+        compiled_conflicts="auto",
     ):
         self.adt = adt
         self.conflict = conflict
-        self.locks = LockManager(conflict)
+        # "auto" queries the compiled bitmask table when the relation
+        # compiles (every ADT NFC/NRBC relation does); False keeps the
+        # interpreted per-pair path — the differential-testing flag.
+        self.locks = LockManager(conflict, compiled=compiled_conflicts)
         if isinstance(recovery, RecoveryManager):
             self.recovery: RecoveryManager = recovery
         else:

@@ -1,0 +1,209 @@
+"""Unit tests for the bitmask table compiler (:mod:`repro.analysis.compile_tables`)."""
+
+import pytest
+
+from repro.adts import BankAccount, KVStore
+from repro.analysis.compile_tables import (
+    CompiledConflict,
+    CompiledTable,
+    compile_classifier,
+    compile_table,
+    ground_compiled,
+    interpreted_forced,
+    maybe_compile,
+    pairwise_matrix,
+)
+from repro.analysis.tables import ConflictTable
+from repro.core.conflict import ClassifierConflict, PredicateConflict
+from repro.core.events import op
+from repro.runtime.lock_manager import LockManager, resolve_compiled
+
+
+def small_table():
+    return ConflictTable(
+        "toy",
+        ("r", "w"),
+        frozenset([("w", "w"), ("w", "r"), ("r", "w")]),
+    )
+
+
+# -- CompiledTable ---------------------------------------------------------------
+
+
+def test_compile_table_roundtrip():
+    table = small_table()
+    compiled = compile_table(table)
+    assert compiled.labels == table.labels
+    assert set(compiled.marks()) == set(table.marks)
+    assert compiled.to_conflict_table("toy") == table
+    assert compiled.marked("w", "w") and not compiled.marked("r", "r")
+    assert compiled.is_symmetric()
+
+
+def test_compiled_table_validation():
+    with pytest.raises(ValueError):
+        CompiledTable(("a", "b"), (0,))  # length mismatch
+    with pytest.raises(ValueError):
+        CompiledTable(("a", "a"), (0, 0))  # duplicate labels
+
+
+def test_asymmetric_table_detected():
+    compiled = compile_table(
+        ConflictTable("asym", ("a", "b"), frozenset([("a", "b")]))
+    )
+    assert not compiled.is_symmetric()
+    assert compiled.conflicts_idx(0, 1) and not compiled.conflicts_idx(1, 0)
+
+
+# -- CompiledConflict ------------------------------------------------------------
+
+
+def classify_kind(operation):
+    return operation.invocation.name
+
+
+def test_unknown_label_grows_with_empty_row():
+    compiled = CompiledConflict(
+        classify_kind, compile_table(small_table()), name="toy"
+    )
+    stranger = op("X", "x", response="done")
+    known = op("X", "w", 1)
+    assert compiled.row_mask(stranger) == 0
+    assert not compiled.conflicts(stranger, known)
+    assert not compiled.conflicts(known, stranger)
+    # the grown label is now part of the table universe
+    assert "x" in compiled.labels
+    assert compiled.held_bit(stranger) == 1 << compiled.class_index(stranger)
+
+
+def test_unknown_label_errors_on_ground_tables():
+    ba = BankAccount("BA")
+    alphabet = ba.ground_alphabet()
+    compiled = ground_compiled(ba.nrbc_conflict(), alphabet)
+    with pytest.raises(KeyError):
+        compiled.class_index(op("BA", "frobnicate", response="no"))
+
+
+def test_on_unknown_validated():
+    with pytest.raises(ValueError):
+        CompiledConflict(
+            classify_kind, compile_table(small_table()), on_unknown="ignore"
+        )
+
+
+def test_compile_classifier_grow_matches_matrix_miss():
+    """A label outside the matrix answers False, like ClassifierConflict."""
+    relation = ClassifierConflict(
+        classify_kind, [("w", "w")], name="w-only"
+    )
+    compiled = compile_classifier(relation)
+    w, r = op("X", "w"), op("X", "r", response="v")
+    for new, old in ((w, w), (w, r), (r, w), (r, r)):
+        assert compiled.conflicts(new, old) == relation.conflicts(new, old)
+
+
+def test_maybe_compile_dispatch(monkeypatch):
+    ba = BankAccount("BA")
+    compiled = maybe_compile(ba.nrbc_conflict())
+    assert isinstance(compiled, CompiledConflict)
+    assert maybe_compile(compiled) is compiled  # pass-through
+    assert maybe_compile(PredicateConflict(lambda a, b: True)) is None
+    monkeypatch.setenv("REPRO_INTERPRETED_CONFLICTS", "1")
+    assert interpreted_forced()
+    assert maybe_compile(ba.nrbc_conflict()) is None
+
+
+def test_refine_carried_through_compilation():
+    kv = KVStore("KV")
+    relation = kv.nrbc_conflict()
+    compiled = compile_classifier(relation)
+    assert compiled.refine is relation.refine
+    write_a = op("KV", "put", "a", 1)
+    write_b = op("KV", "put", "b", 1)
+    assert compiled.conflicts(write_a, write_a) == relation.conflicts(
+        write_a, write_a
+    )
+    assert compiled.conflicts(write_a, write_b) == relation.conflicts(
+        write_a, write_b
+    )
+    # the refinement really fires: same key conflicts, different key not
+    assert compiled.conflicts(write_a, write_a)
+    assert not compiled.conflicts(write_a, write_b)
+
+
+# -- resolve_compiled / LockManager modes ----------------------------------------
+
+
+def test_resolve_compiled_contract():
+    ba = BankAccount("BA")
+    relation = ba.nrbc_conflict()
+    assert resolve_compiled(relation, False) is None
+    assert isinstance(resolve_compiled(relation, "auto"), CompiledConflict)
+    assert isinstance(resolve_compiled(relation, True), CompiledConflict)
+    prebuilt = compile_classifier(relation)
+    assert resolve_compiled(relation, prebuilt) is prebuilt
+    with pytest.raises(ValueError):
+        resolve_compiled(PredicateConflict(lambda a, b: True), True)
+    with pytest.raises(ValueError):
+        resolve_compiled(relation, "sometimes")
+
+
+def test_uncompilable_relation_falls_back_to_interpreted():
+    manager = LockManager(PredicateConflict(lambda a, b: True, name="total"))
+    assert manager.mode == "interpreted"
+    manager.acquire("T1", op("X", "w"))
+    assert manager.blockers("T2", op("X", "w")) == frozenset(["T1"])
+
+
+def test_lock_manager_release_clears_masks():
+    ba = BankAccount("BA")
+    manager = LockManager(ba.nrbc_conflict())
+    assert manager.mode == "compiled"
+    deposit = op("BA", "deposit", 1)
+    balance = op("BA", "balance", response=0)
+    manager.acquire("T1", deposit)
+    assert manager.blockers("T2", balance) == frozenset(["T1"])
+    manager.release_all("T1")
+    assert not manager.blockers("T2", balance)
+    assert manager.held_by("T1") == ()
+
+
+# -- pairwise pass ---------------------------------------------------------------
+
+
+def test_pairwise_matrix_rectangular():
+    ba = BankAccount("BA")
+    relation = ba.nrbc_conflict()
+    news = ba.ground_alphabet()[:3]
+    olds = ba.ground_alphabet()
+    matrix = pairwise_matrix(relation, news, olds, vectorized=False)
+    assert len(matrix) == len(news) and len(matrix[0]) == len(olds)
+    for i, new in enumerate(news):
+        for j, old in enumerate(olds):
+            assert matrix[i][j] == relation.conflicts(new, old)
+
+
+def test_pairwise_vectorized_true_requires_compilable():
+    with pytest.raises(ValueError):
+        pairwise_matrix(
+            PredicateConflict(lambda a, b: True),
+            [op("X", "w")],
+            vectorized=True,
+        )
+
+
+def test_pairwise_vectorized_true_requires_numpy(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    ba = BankAccount("BA")
+    with pytest.raises(RuntimeError):
+        pairwise_matrix(
+            ba.nrbc_conflict(), ba.ground_alphabet(), vectorized=True
+        )
+
+
+def test_ground_compiled_dedupes_alphabet():
+    ba = BankAccount("BA")
+    alphabet = ba.ground_alphabet()
+    doubled = tuple(alphabet) + tuple(alphabet)
+    compiled = ground_compiled(ba.nrbc_conflict(), doubled)
+    assert len(compiled.labels) == len(alphabet)

@@ -1,0 +1,122 @@
+"""The pure-Python pairwise pass: numpy is strictly optional.
+
+numpy ships as the ``repro[fast]`` extra; everything must keep working —
+with identical verdicts — when it is absent.  Two gates are covered:
+
+* ``REPRO_NO_NUMPY=1`` (checked per call, so ``monkeypatch.setenv``
+  works mid-process) forces the scalar pass even with numpy installed;
+* a subprocess with the numpy import *blocked* (``sys.modules["numpy"]
+  = None``) proves no module in the import chain needs it.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+
+from repro.adts import BankAccount, KVStore
+from repro.analysis.compile_tables import (
+    ground_compiled,
+    have_numpy,
+    pairwise_matrix,
+)
+from repro.core import UIP, ObjectAutomaton
+from repro.experiments.examples import section_3_3_history
+
+
+def test_no_numpy_env_forces_scalar_pass(monkeypatch):
+    ba = BankAccount("BA")
+    relation = ba.nrbc_conflict()
+    alphabet = ba.ground_alphabet()
+    with_numpy = pairwise_matrix(relation, alphabet)
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert not have_numpy()
+    scalar = pairwise_matrix(relation, alphabet)
+    assert scalar == with_numpy
+    with pytest.raises(RuntimeError):
+        pairwise_matrix(relation, alphabet, vectorized=True)
+    monkeypatch.delenv("REPRO_NO_NUMPY")
+    # the gate is per-call: numpy-backed passes resume immediately
+    assert pairwise_matrix(relation, alphabet) == with_numpy
+
+
+def test_no_numpy_ground_tables_and_checker_identical(monkeypatch):
+    spec = BankAccount("BA")
+    relation = spec.nrbc_conflict()
+    history = section_3_3_history()
+    baseline = ObjectAutomaton.explain_rejection(
+        spec, UIP, relation, history, pairwise="auto"
+    )
+    pairs_before = {
+        (new, old)
+        for new in spec.ground_alphabet()
+        for old in spec.ground_alphabet()
+        if ground_compiled(relation, spec.ground_alphabet()).conflicts(new, old)
+    }
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert (
+        ObjectAutomaton.explain_rejection(
+            spec, UIP, relation, history, pairwise="auto"
+        )
+        == baseline
+    )
+    ground = ground_compiled(relation, spec.ground_alphabet())
+    pairs_after = {
+        (new, old)
+        for new in spec.ground_alphabet()
+        for old in spec.ground_alphabet()
+        if ground.conflicts(new, old)
+    }
+    assert pairs_after == pairs_before
+
+
+FALLBACK_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    sys.modules["numpy"] = None  # block the import before anything runs
+
+    from repro.adts import BankAccount, KVStore
+    from repro.analysis.compile_tables import have_numpy, pairwise_matrix
+    from repro.core import UIP, ObjectAutomaton
+    from repro.experiments.examples import section_3_3_history
+
+    assert not have_numpy()
+    for adt in (BankAccount("BA"), KVStore("KV")):
+        relation = adt.nrbc_conflict()
+        alphabet = adt.ground_alphabet()
+        matrix = pairwise_matrix(relation, alphabet)
+        for i, new in enumerate(alphabet):
+            for j, old in enumerate(alphabet):
+                assert matrix[i][j] == relation.conflicts(new, old)
+    spec = BankAccount("BA")
+    assert ObjectAutomaton.accepts(
+        spec, UIP, spec.nrbc_conflict(), section_3_3_history(), pairwise="auto"
+    ) == ObjectAutomaton.accepts(
+        spec, UIP, spec.nrbc_conflict(), section_3_3_history()
+    )
+    print("FALLBACK-OK")
+    """
+)
+
+
+def test_numpy_import_blocked_subprocess():
+    """End to end with numpy unimportable: verdicts unchanged."""
+    src = str(pathlib.Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (src, env.get("PYTHONPATH")) if p
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", FALLBACK_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "FALLBACK-OK" in result.stdout

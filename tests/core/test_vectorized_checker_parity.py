@@ -1,0 +1,149 @@
+"""Regression: the checker's batch pairwise passes are verdict-identical.
+
+``ObjectAutomaton.accepts`` / ``explain_rejection`` accept a ``pairwise``
+mode that precomputes the conflict relation over the history's ground
+alphabet (scalar bitmask scan or numpy gather).  Every mode must return
+*byte-identical* results to the default path — same booleans, same
+rejection strings, holder attribution included — on:
+
+* the paper's worked examples (Sections 3.3, 3.4 and 5) under both
+  views and both relations;
+* abort-heavy torture histories sampled from the automaton's language;
+* perturbed torture histories (adjacent events swapped) that the
+  automaton rejects;
+* ill-formed input (a response with no pending invocation), where the
+  alphabet precomputation itself cannot run and must fall back.
+"""
+
+import random
+
+import pytest
+
+from repro.adts import BankAccount
+from repro.analysis.compile_tables import have_numpy
+from repro.core import DU, UIP, ObjectAutomaton
+from repro.core.events import inv, respond
+from repro.core.history import History
+from repro.core.object_automaton import TransactionProgram, generate_trace
+from repro.experiments.examples import (
+    section_3_3_history,
+    section_3_4_perturbed_history,
+    section_5_history,
+)
+
+VIEWS = (("UIP", UIP), ("DU", DU))
+RELATIONS = ("nfc_conflict", "nrbc_conflict")
+MODES = ("auto", "scalar", "vectorized")
+
+
+def modes():
+    return [m for m in MODES if m != "vectorized" or have_numpy()]
+
+
+def worked_histories():
+    return [
+        ("3.3", section_3_3_history()),
+        ("3.4", section_3_4_perturbed_history()),
+        ("5", section_5_history()),
+    ]
+
+
+def torture_histories():
+    spec = BankAccount("BA")
+    conflict = spec.nfc_conflict()
+    programs = [
+        TransactionProgram(
+            "T%d" % i,
+            tuple(
+                inv("deposit", 1 + (i + j) % 3)
+                if (i + j) % 2
+                else inv("withdraw", 1 + j % 3)
+                for j in range(5)
+            ),
+        )
+        for i in range(4)
+    ]
+    out = []
+    for seed in range(6):
+        trace = generate_trace(
+            spec,
+            UIP,
+            conflict,
+            programs,
+            random.Random(seed),
+            abort_probability=0.35,
+        )
+        out.append(("seed%d" % seed, trace))
+        # a perturbed sibling: swap the middle pair of events, which
+        # typically breaks a precondition and must be rejected the same
+        # way on every pairwise mode
+        events = list(trace)
+        if len(events) >= 4:
+            mid = len(events) // 2
+            events[mid - 1], events[mid] = events[mid], events[mid - 1]
+            out.append(
+                ("seed%d-perturbed" % seed, History(events, validate=False))
+            )
+    return out
+
+
+@pytest.mark.parametrize("view_name,view", VIEWS, ids=[n for n, _ in VIEWS])
+@pytest.mark.parametrize("relation", RELATIONS)
+def test_worked_examples_verdicts_byte_identical(view_name, view, relation):
+    spec = BankAccount("BA")
+    conflict = getattr(spec, relation)()
+    for label, history in worked_histories():
+        baseline = ObjectAutomaton.explain_rejection(spec, view, conflict, history)
+        for mode in modes():
+            got = ObjectAutomaton.explain_rejection(
+                spec, view, conflict, history, pairwise=mode
+            )
+            assert got == baseline, (label, mode)
+            assert ObjectAutomaton.accepts(
+                spec, view, conflict, history, pairwise=mode
+            ) == (baseline is None)
+
+
+@pytest.mark.parametrize("view_name,view", VIEWS, ids=[n for n, _ in VIEWS])
+def test_torture_histories_verdicts_byte_identical(view_name, view):
+    spec = BankAccount("BA")
+    verdicts = []
+    for relation in RELATIONS:
+        conflict = getattr(spec, relation)()
+        for label, history in torture_histories():
+            baseline = ObjectAutomaton.explain_rejection(
+                spec, view, conflict, history
+            )
+            verdicts.append(baseline)
+            for mode in modes():
+                got = ObjectAutomaton.explain_rejection(
+                    spec, view, conflict, history, pairwise=mode
+                )
+                assert got == baseline, (relation, label, mode)
+    # the sample covers both outcomes, so the byte-identity is not vacuous
+    assert any(v is None for v in verdicts)
+    assert any(v is not None for v in verdicts)
+
+
+def test_ill_formed_history_identical_across_modes():
+    """A response with no pending invocation defeats alphabet enumeration."""
+    spec = BankAccount("BA")
+    conflict = spec.nrbc_conflict()
+    bad = History([respond("ok", "BA", "T1")], validate=False)
+    baseline = ObjectAutomaton.explain_rejection(spec, UIP, conflict, bad)
+    assert baseline is not None
+    for mode in modes():
+        assert (
+            ObjectAutomaton.explain_rejection(
+                spec, UIP, conflict, bad, pairwise=mode
+            )
+            == baseline
+        )
+
+
+def test_pairwise_mode_validated():
+    spec = BankAccount("BA")
+    with pytest.raises(ValueError):
+        ObjectAutomaton.explain_rejection(
+            spec, UIP, spec.nrbc_conflict(), section_3_3_history(), pairwise="bogus"
+        )
