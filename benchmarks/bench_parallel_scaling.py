@@ -8,21 +8,23 @@ claims this bench pins down:
    campaign produce *exactly* the serial summaries at 1, 2 and 4
    workers (dataclass equality and the formatted table/report text).
 2. **Measured speedup** — wall-clock time of the reference sweep at 2
-   and 4 workers, recorded in the artifact.  The >= 1.5x floor at 4
-   workers is asserted only when the machine actually has >= 4 usable
-   CPUs (the CI runners do; a 1-CPU container can only record the
-   numbers, not beat Amdahl).
+   and 4 workers, recorded in the artifact.  The floors (>= 1.0x at 2
+   workers, >= 1.5x at 4) are asserted only when the machine actually
+   has that many usable CPUs — otherwise the test *skips* after
+   recording the honest flat curve (a 1-CPU container cannot beat
+   Amdahl, and silently passing would hide that the floor never ran).
 
 Results land in ``BENCH_parallel_scaling.json`` for the CI artifact
 trail.
 """
 
 import json
-import os
 import pathlib
 import time
 
 import pytest
+
+from conftest import cpus_available, require_cpus
 
 from repro.experiments.comparisons import (
     compare,
@@ -46,13 +48,6 @@ OPS = 4
 WORKER_COUNTS = (1, 2, 4)
 TIMING_ROUNDS = 2
 SPEEDUP_FLOOR = 1.5
-
-
-def cpus_available() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover — non-Linux
-        return os.cpu_count() or 1
 
 
 def reference_sweep(workers: int):
@@ -150,9 +145,10 @@ def test_parallel_scaling_speedup(benchmark, capsys):
                 record["speedup"]["4"],
             )
         )
-    # A 1-CPU box cannot scale; the equality tests above still hold it
-    # to correctness, and the artifact records the (flat) curve.
+    # The artifact above records the honest curve either way; on a
+    # 1-CPU box the floor assertions now *skip* (visible in the test
+    # report) instead of silently passing.
+    require_cpus(2)
+    assert record["speedup"]["2"] >= 1.0, record
     if cpus >= 4:
         assert record["speedup"]["4"] >= SPEEDUP_FLOOR, record
-    if cpus >= 2:
-        assert record["speedup"]["2"] >= 1.0, record

@@ -37,6 +37,15 @@ Commands
     the schedules over a process pool (byte-identical report; schedules
     lost to a worker death are retried once, then reported as failed
     cells and exit 1).
+``drive``
+    Drive the sharded runtime with open-loop traffic: Poisson or bursty
+    arrivals at ``--arrival-rate`` transactions/tick, zipfian hot keys
+    (``--zipf S``), objects hash-partitioned over ``--shards N``, and a
+    ``--cross-shard`` fraction of two-shard 2PC transactions.  Prints
+    commit-latency percentiles (p50/p95/p99 in ticks) and per-shard
+    traffic.  ``--workers N`` fans single-shard traffic over one worker
+    process per shard (requires ``--cross-shard 0``); the merged
+    counters match the serial run.
 ``trace-report <t.jsonl>``
     Validate and summarize a structured run trace written by
     ``repro run --trace-out`` / ``repro torture --trace-out`` (with
@@ -379,6 +388,77 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_drive(args) -> int:
+    """Drive the sharded runtime with open-loop traffic and report
+    commit-latency percentiles plus per-shard traffic."""
+    from .runtime.openloop import OpenLoopConfig, drive
+
+    if args.adt not in ADT_REGISTRY:
+        raise SystemExit(
+            "unknown ADT %r (choose from: %s)"
+            % (args.adt, ", ".join(sorted(ADT_REGISTRY)))
+        )
+    _check_group_commit_args(args)
+    _check_workload_args(args)
+    _check_parallel_args(args)
+    _check_min(args, (("shards", 1), ("objects", 1)))
+    if args.arrival_rate <= 0:
+        raise SystemExit(
+            "--arrival-rate must be > 0 (got %g)" % args.arrival_rate
+        )
+    if not 0.0 <= args.cross_shard <= 1.0:
+        raise SystemExit(
+            "--cross-shard must be in [0, 1] (got %g)" % args.cross_shard
+        )
+    if args.zipf < 0:
+        raise SystemExit("--zipf must be >= 0 (got %g)" % args.zipf)
+    if args.workers > 1 and args.cross_shard > 0:
+        raise SystemExit(
+            "--workers > 1 partitions traffic per shard and requires "
+            "--cross-shard 0 (cross-shard 2PC needs one scheduler over "
+            "every shard)"
+        )
+    if args.workers > 1 and args.trace_out:
+        raise SystemExit(
+            "--trace-out requires --workers 1 (partitioned drives trace "
+            "per worker shard)"
+        )
+    config = OpenLoopConfig(
+        adt_kind=args.adt,
+        objects=args.objects,
+        shards=args.shards,
+        transactions=args.transactions,
+        ops_per_txn=args.ops,
+        arrival_rate=args.arrival_rate,
+        process=args.process,
+        burst_factor=args.burst_factor,
+        burst_period=args.burst_period,
+        zipf_s=args.zipf,
+        cross_shard=args.cross_shard,
+        recovery=args.recovery.upper(),
+        group_commit=args.group_commit,
+        hold=args.hold,
+    )
+    trace = None
+    if args.trace_out:
+        from .runtime.trace import TraceCollector
+
+        trace = TraceCollector()
+    report = drive(
+        config,
+        seed=args.seed_base + args.seed,
+        workers=args.workers,
+        trace=trace,
+    )
+    print(report.format())
+    if trace is not None:
+        count = trace.dump_jsonl(args.trace_out)
+        print("trace                : %d events -> %s" % (count, args.trace_out))
+    if not report.ok:
+        return 1
+    return 0
+
+
 def cmd_torture(args) -> int:
     from .runtime.faults import RetryPolicy
     from .runtime.torture import configs_for, run_torture
@@ -584,6 +664,114 @@ def build_parser() -> argparse.ArgumentParser:
         "(1 = serial; metrics are identical either way)",
     )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "drive",
+        help="drive the sharded runtime with open-loop traffic and "
+        "report latency percentiles",
+    )
+    p.add_argument(
+        "--adt", default="counter", help="ADT kind (see `repro adts`)"
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="hash-partition the objects over N shards",
+    )
+    p.add_argument(
+        "--objects",
+        type=int,
+        default=16,
+        metavar="K",
+        help="key-space size (one ADT object per key)",
+    )
+    p.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=2.0,
+        metavar="R",
+        help="mean transaction arrivals per scheduler tick",
+    )
+    p.add_argument(
+        "--process",
+        choices=["poisson", "bursty"],
+        default="poisson",
+        help="arrival process (bursty compresses the same mean rate "
+        "into on/off windows)",
+    )
+    p.add_argument(
+        "--burst-factor",
+        type=float,
+        default=4.0,
+        metavar="F",
+        help="bursty: peak rate multiple (duty cycle 1/F)",
+    )
+    p.add_argument(
+        "--burst-period",
+        type=int,
+        default=64,
+        metavar="P",
+        help="bursty: on/off cycle length in ticks",
+    )
+    p.add_argument(
+        "--zipf",
+        type=float,
+        default=1.1,
+        metavar="S",
+        help="zipfian hot-key exponent (0 = uniform)",
+    )
+    p.add_argument(
+        "--cross-shard",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="fraction of transactions touching a second object in "
+        "another shard (2PC across shards)",
+    )
+    p.add_argument(
+        "--recovery", choices=["du", "uip"], default="du", help="recovery method"
+    )
+    p.add_argument("--transactions", type=int, default=128)
+    p.add_argument("--ops", type=int, default=3)
+    p.add_argument(
+        "--group-commit",
+        type=int,
+        default=1,
+        metavar="N",
+        help="coalesce N log-force requests into one physical flush",
+    )
+    p.add_argument(
+        "--hold",
+        type=int,
+        default=4,
+        metavar="T",
+        help="flush a short group-commit batch after T ticks anyway",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--seed-base",
+        type=int,
+        default=0,
+        metavar="B",
+        help="offset added to --seed (shared with run/compare sweeps)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan single-shard traffic over one worker process per "
+        "shard (requires --cross-shard 0)",
+    )
+    p.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=None,
+        help="write the structured drive trace as JSONL (workers=1 only)",
+    )
+    p.set_defaults(func=cmd_drive)
 
     p = sub.add_parser(
         "torture", help="run the crash-schedule torture suite"

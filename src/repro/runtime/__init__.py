@@ -34,6 +34,14 @@ from .metrics import (
     format_summary_table,
     summarize,
 )
+from .openloop import (
+    DriveReport,
+    OpenLoopConfig,
+    arrival_ticks,
+    drive,
+    open_loop_scripts,
+    zipf_weights,
+)
 from .optimistic import OptimisticObject, OptimisticSystem, run_optimistic
 from .parallel import (
     Cell,
@@ -42,6 +50,7 @@ from .parallel import (
     execute_cell,
     register_executor,
     shard_path,
+    shared_conflict_case,
     stitch_trace_shards,
     trace_shard_paths,
 )
@@ -53,6 +62,13 @@ from .recovery import (
     make_recovery_manager,
 )
 from .scheduler import Scheduler, TransactionScript, run_scripts
+from .sharding import (
+    ShardedSystem,
+    ShardTrace,
+    audit_shard,
+    build_sharded_system,
+    shard_of,
+)
 from .system import ManagedObject, OperationOutcome, TransactionSystem
 from .torture import (
     TortureConfig,
@@ -158,8 +174,20 @@ __all__ = [
     "register_executor",
     "execute_cell",
     "shard_path",
+    "shared_conflict_case",
     "stitch_trace_shards",
     "trace_shard_paths",
+    "ShardedSystem",
+    "ShardTrace",
+    "shard_of",
+    "build_sharded_system",
+    "audit_shard",
+    "OpenLoopConfig",
+    "DriveReport",
+    "drive",
+    "open_loop_scripts",
+    "arrival_ticks",
+    "zipf_weights",
     "RuntimeModelError",
     "TransactionAborted",
     "DeadlockDetected",

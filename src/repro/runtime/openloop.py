@@ -1,0 +1,621 @@
+"""The open-loop traffic driver: heavy traffic as a measured scenario.
+
+The EXP-C workloads so far are *closed-loop*: a fixed population of
+scripts, each re-entering the system the moment its predecessor
+finishes.  Closed loops self-throttle — blocked transactions stop
+generating load — so they cannot show what happens when traffic keeps
+arriving regardless of how the system is doing, which is exactly the
+"millions of users" regime the roadmap asks to make measurable.  This
+module drives the sharded runtime (:mod:`repro.runtime.sharding`) with
+an **open-loop** arrival process:
+
+* **arrivals** — transactions enter at ticks drawn from a Poisson
+  process at ``arrival_rate`` transactions/tick, or from a *bursty*
+  on/off modulation of the same mean rate (all traffic compressed into
+  a ``1/burst_factor`` duty cycle of each ``burst_period``), never
+  gated on completions;
+* **hot keys** — each transaction's object is drawn from a zipfian
+  distribution with exponent ``zipf_s`` over the key space, so a few
+  objects absorb most of the traffic (the paper's hot-spot motivation,
+  Section 1);
+* **placement** — objects are hash-partitioned over ``shards`` (see
+  :func:`~repro.runtime.sharding.shard_of`); a ``cross_shard`` fraction
+  of transactions touch a second object in a different shard and commit
+  through the durable-prepare/commit-record 2PC pipeline;
+* **measurement** — commit latency percentiles (p50/p95/p99, in ticks,
+  from the PR 3 trace stream's ``txn-commit`` events), committed/ticks
+  throughput, wall-clock throughput, and per-shard traffic breakdowns.
+
+Single-shard traffic fans out over one worker process per shard
+(``workers > 1``, via :mod:`repro.runtime.parallel`): each worker
+rebuilds its shard's objects and scripts deterministically from
+``(config, seed)``, so the merged counters are identical to the
+in-process run while the wall clock divides by the number of cores.
+Cross-shard traffic (``cross_shard > 0``) requires the in-process path,
+where one scheduler sees every shard.
+
+CLI: ``repro drive --shards N --arrival-rate R --zipf S``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .metrics import RunMetrics
+from .scheduler import Scheduler, TransactionScript
+from .sharding import ShardedSystem, build_sharded_system, shard_of
+from .trace import TraceCollector, _percentile
+from .workloads import _script
+
+#: Latency percentiles reported everywhere (trace ticks).
+PERCENTILES = (0.50, 0.95, 0.99)
+
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OpenLoopConfig:
+    """One open-loop scenario (picklable: plain values only, so a cell
+    can rebuild the exact scenario inside a worker process)."""
+
+    adt_kind: str = "counter"
+    objects: int = 16  # key-space size (one ADT object per key)
+    shards: int = 1
+    transactions: int = 128  # total arrivals offered
+    ops_per_txn: int = 3
+    arrival_rate: float = 2.0  # mean transaction arrivals per tick
+    process: str = "poisson"  # "poisson" | "bursty"
+    burst_factor: float = 4.0  # bursty: peak rate multiple (duty 1/factor)
+    burst_period: int = 64  # bursty: on/off cycle length in ticks
+    zipf_s: float = 1.1  # hot-key skew exponent (0 = uniform)
+    cross_shard: float = 0.0  # fraction of two-object cross-shard txns
+    recovery: str = "DU"
+    group_commit: int = 1
+    hold: int = 4
+    max_restarts: int = 25
+    max_ticks: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.objects < 1:
+            raise ValueError("objects must be >= 1")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.transactions < 1:
+            raise ValueError("transactions must be >= 1")
+        if self.ops_per_txn < 1:
+            raise ValueError("ops_per_txn must be >= 1")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be > 0")
+        if self.process not in ("poisson", "bursty"):
+            raise ValueError(
+                "process must be 'poisson' or 'bursty', not %r" % self.process
+            )
+        if self.burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        if self.burst_period < 2:
+            raise ValueError("burst_period must be >= 2")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+        if not 0.0 <= self.cross_shard <= 1.0:
+            raise ValueError("cross_shard must be in [0, 1]")
+
+    def label(self) -> str:
+        return "drive/%s/%s/s%d/r%g/z%g" % (
+            self.adt_kind,
+            self.process,
+            self.shards,
+            self.arrival_rate,
+            self.zipf_s,
+        )
+
+    def object_names(self) -> List[str]:
+        """The key space: ``K00`` .. ``K<objects-1>``, zero-padded."""
+        width = max(2, len(str(self.objects - 1)))
+        return ["K%0*d" % (width, i) for i in range(self.objects)]
+
+
+# ---------------------------------------------------------------------------
+# zipfian hot keys
+# ---------------------------------------------------------------------------
+
+
+def zipf_weights(n: int, s: float) -> List[float]:
+    """Normalized zipfian weights: ``w_k ∝ 1/(k+1)^s`` for ranks 0..n-1."""
+    raw = [1.0 / ((k + 1) ** s) for k in range(n)]
+    total = sum(raw)
+    return [w / total for w in raw]
+
+
+class ZipfChooser:
+    """Seeded zipfian sampling over ``n`` ranks via inverse-CDF bisect."""
+
+    def __init__(self, n: int, s: float) -> None:
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in zipf_weights(n, s):
+            acc += w
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard float drift
+
+    def pick(self, rng: random.Random) -> int:
+        return bisect.bisect_left(self._cdf, rng.random())
+
+
+# ---------------------------------------------------------------------------
+# arrivals
+# ---------------------------------------------------------------------------
+
+
+def arrival_ticks(config: OpenLoopConfig, rng: random.Random) -> List[int]:
+    """One arrival tick per transaction, non-decreasing, first tick >= 1.
+
+    Poisson: exponential inter-arrival gaps at ``arrival_rate``.  Bursty:
+    the same Poisson process runs at ``arrival_rate * burst_factor`` but
+    only during the first ``burst_period / burst_factor`` ticks of each
+    period (the *on* window), so the long-run mean stays
+    ``arrival_rate`` while queues build at every burst.
+    """
+    if config.process == "poisson":
+        t = 0.0
+        out = []
+        for _ in range(config.transactions):
+            t += rng.expovariate(config.arrival_rate)
+            out.append(int(t) + 1)
+        return out
+    # bursty: draw in "active time" (on-window ticks only), then map
+    # active time back onto the wall clock period by period.
+    on = max(1.0, config.burst_period / config.burst_factor)
+    peak = config.arrival_rate * config.burst_factor
+    active = 0.0
+    out = []
+    for _ in range(config.transactions):
+        active += rng.expovariate(peak)
+        periods = int(active // on)
+        out.append(int(periods * config.burst_period + (active % on)) + 1)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# script generation
+# ---------------------------------------------------------------------------
+
+
+def open_loop_scripts(
+    config: OpenLoopConfig, rng: random.Random
+) -> List[Tuple[TransactionScript, int]]:
+    """The full offered load: ``(script, arrival_tick)`` per transaction.
+
+    Deterministic from ``(config, rng state)``; the partitioned parallel
+    path regenerates this in every worker and keeps only its shard's
+    scripts, so no script object ever crosses a process boundary.
+    """
+    from ..adts.registry import make_adt
+
+    names = config.object_names()
+    alphabet = list(make_adt(config.adt_kind).invocation_alphabet())
+    chooser = ZipfChooser(config.objects, config.zipf_s)
+    arrivals = arrival_ticks(config, rng)
+    out: List[Tuple[TransactionScript, int]] = []
+    for t, arrival in enumerate(arrivals):
+        home = names[chooser.pick(rng)]
+        second: Optional[str] = None
+        if config.cross_shard > 0 and rng.random() < config.cross_shard:
+            # A second object in a *different* shard, when one exists.
+            others = [
+                n
+                for n in names
+                if shard_of(n, config.shards) != shard_of(home, config.shards)
+            ]
+            if others:
+                second = others[chooser.pick(rng) % len(others)]
+        steps = []
+        for i in range(config.ops_per_txn):
+            obj = home
+            if second is not None and i >= (config.ops_per_txn + 1) // 2:
+                obj = second
+            steps.append((obj, rng.choice(alphabet)))
+        out.append((_script("T%d" % t, steps), arrival))
+    return out
+
+
+def home_shard(script: TransactionScript, shards: int) -> int:
+    """The shard owning a script's first-step object."""
+    return shard_of(script.steps[0][0], shards)
+
+
+# ---------------------------------------------------------------------------
+# the report
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DriveReport:
+    """Outcome of one open-loop drive (in-process or partitioned)."""
+
+    label: str
+    shards: int
+    workers: int
+    offered: int
+    metrics: RunMetrics
+    wall_s: float
+    #: commit latencies in ticks (arrival -> commit), sorted.
+    latencies: List[int] = field(default_factory=list)
+    per_shard: List[Dict[str, int]] = field(default_factory=list)
+    #: failed parallel cells (the failed-cell contract: reported, never
+    #: dropped; aggregates cover completed shards only).
+    failed: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failed
+
+    @property
+    def committed_per_s(self) -> float:
+        return self.metrics.committed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def percentile(self, q: float) -> int:
+        return _percentile(self.latencies, q)
+
+    def latency_summary(self) -> Dict[str, float]:
+        lat = self.latencies
+        return {
+            "n": len(lat),
+            "mean": (sum(lat) / len(lat)) if lat else 0.0,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "max": lat[-1] if lat else 0,
+        }
+
+    def format(self) -> str:
+        m = self.metrics
+        lat = self.latency_summary()
+        lines = [
+            "open-loop drive      : %s" % self.label,
+            "offered              : %d transactions (%d shards, %d workers)"
+            % (self.offered, self.shards, self.workers),
+            "committed            : %d (aborted %d, deadlocks %d, restarts %d)"
+            % (m.committed, m.aborted, m.deadlocks, m.restarts),
+            "ticks                : %d (throughput %.4f committed/tick)"
+            % (m.ticks, m.throughput),
+            "wall clock           : %.3fs (%.1f committed/s)"
+            % (self.wall_s, self.committed_per_s),
+            "commit latency ticks : n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d"
+            % (lat["n"], lat["mean"], lat["p50"], lat["p95"], lat["p99"], lat["max"]),
+        ]
+        for row in self.per_shard:
+            lines.append(
+                "  shard %-2d           : %4d committed, %4d ops, %3d objects, "
+                "%d forces"
+                % (
+                    row["shard"],
+                    row["committed"],
+                    row["operations"],
+                    row["objects"],
+                    row.get("forces", 0),
+                )
+            )
+        if self.failed:
+            lines.append("FAILED SHARDS (%d):" % len(self.failed))
+            for entry in self.failed:
+                lines.append("  " + entry)
+        return "\n".join(lines)
+
+
+def _latencies_from_trace(events: Sequence[dict]) -> List[int]:
+    return sorted(
+        int(e["latency"]) for e in events if e.get("kind") == "txn-commit"
+    )
+
+
+def _committed_by_shard(
+    events: Sequence[dict], scripts_home: Dict[str, int]
+) -> Dict[int, int]:
+    out: Dict[int, int] = {}
+    for e in events:
+        if e.get("kind") == "txn-commit":
+            shard = scripts_home.get(str(e.get("script")), 0)
+            out[shard] = out.get(shard, 0) + 1
+    return out
+
+
+# ---------------------------------------------------------------------------
+# driving
+# ---------------------------------------------------------------------------
+
+
+def drive(
+    config: OpenLoopConfig,
+    *,
+    seed: int = 0,
+    workers: int = 1,
+    trace: Optional[TraceCollector] = None,
+) -> DriveReport:
+    """Run one open-loop scenario and measure it.
+
+    ``workers <= 1``: one in-process scheduler over a
+    :class:`ShardedSystem` holding every shard (cross-shard traffic
+    allowed).  ``workers > 1``: one worker process per shard via the
+    parallel engine (single-shard traffic only); counters merge to the
+    sum of the per-shard serial runs, deterministically.
+    """
+    if workers > 1:
+        if config.cross_shard > 0:
+            raise ValueError(
+                "cross-shard transactions need one scheduler over every "
+                "shard; use workers=1 (or cross_shard=0)"
+            )
+        if trace is not None:
+            raise ValueError(
+                "a shared trace collector cannot cross process boundaries; "
+                "partitioned drives trace per worker shard"
+            )
+        return _drive_partitioned(config, seed=seed, workers=workers)
+    return _drive_inline(config, seed=seed, trace=trace)
+
+
+def _drive_inline(
+    config: OpenLoopConfig, *, seed: int, trace: Optional[TraceCollector]
+) -> DriveReport:
+    collector = trace if trace is not None else TraceCollector()
+    scripts = open_loop_scripts(config, random.Random(seed))
+    system = build_sharded_system(
+        config.adt_kind,
+        config.object_names(),
+        shards=config.shards,
+        recovery=config.recovery,
+        group_commit=config.group_commit,
+        hold=config.hold,
+    )
+    collector.emit(
+        "drive-start",
+        label=config.label(),
+        shards=config.shards,
+        arrival_rate=config.arrival_rate,
+    )
+    first_event = len(collector.events)
+    start = time.perf_counter()
+    metrics = _run_shard(
+        system, scripts, config, seed=seed, trace=collector
+    )
+    wall = time.perf_counter() - start
+    # Only this drive's segment of the stream: a caller-owned collector
+    # may already carry events from earlier runs.
+    segment = collector.events[first_event:]
+    latencies = _latencies_from_trace(segment)
+    home = {s.name: home_shard(s, config.shards) for s, _ in scripts}
+    committed = _committed_by_shard(segment, home)
+    per_shard = _per_shard_rows(system, config, scripts, committed)
+    report = DriveReport(
+        label=config.label(),
+        shards=config.shards,
+        workers=1,
+        offered=len(scripts),
+        metrics=metrics,
+        wall_s=wall,
+        latencies=latencies,
+        per_shard=per_shard,
+    )
+    lat = report.latency_summary()
+    collector.emit(
+        "drive-end",
+        label=config.label(),
+        committed=metrics.committed,
+        p50=lat["p50"],
+        p95=lat["p95"],
+        p99=lat["p99"],
+    )
+    return report
+
+
+def _run_shard(
+    system: ShardedSystem,
+    scripts: Sequence[Tuple[TransactionScript, int]],
+    config: OpenLoopConfig,
+    *,
+    seed: int,
+    trace: Optional[TraceCollector],
+) -> RunMetrics:
+    """One scheduler pass over ``scripts`` with open-loop arrivals."""
+    arrivals = {script.name: tick for script, tick in scripts}
+    last = max(arrivals.values(), default=0)
+    scheduler = Scheduler(
+        system,
+        [script for script, _ in scripts],
+        seed=seed,
+        label=config.label(),
+        max_restarts=config.max_restarts,
+        # Every offered transaction must be *able* to arrive: leave room
+        # past the last arrival for it to drain.
+        max_ticks=max(config.max_ticks, last + 10_000),
+        trace=trace,
+        arrivals=arrivals,
+    )
+    return scheduler.run()
+
+
+def _per_shard_rows(
+    system: ShardedSystem,
+    config: OpenLoopConfig,
+    scripts: Sequence[Tuple[TransactionScript, int]],
+    committed_by_shard: Dict[int, int],
+) -> List[Dict[str, int]]:
+    ops_by_shard: Dict[int, int] = {}
+    for script, _ in scripts:
+        for obj, _inv in script.steps:
+            k = shard_of(obj, config.shards)
+            ops_by_shard[k] = ops_by_shard.get(k, 0) + 1
+    rows = []
+    for acc in system.force_accounting_by_shard():
+        k = acc["shard"]
+        rows.append(
+            {
+                "shard": k,
+                "objects": len(system.shard_objects(k)),
+                "committed": committed_by_shard.get(k, 0),
+                "operations": ops_by_shard.get(k, 0),
+                "forces": acc["forces"],
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# the partitioned parallel path
+# ---------------------------------------------------------------------------
+
+
+def run_shard_cell(
+    config: OpenLoopConfig,
+    shard: int,
+    seed: int,
+    trace: Optional[TraceCollector] = None,
+) -> Dict[str, object]:
+    """Execute one shard's slice of the offered load (worker-side body).
+
+    Regenerates the full script list deterministically, keeps the
+    scripts homed on ``shard``, builds *only* that shard's objects (the
+    conflict relation and its compiled bitmask table come from the
+    per-process shared registry, so repeated cells pay for one
+    derivation per ADT kind, not one per object), and runs the normal
+    scheduler.  Returns picklable aggregates.
+    """
+    from .parallel import shared_conflict_case
+
+    scripts = [
+        (script, tick)
+        for script, tick in open_loop_scripts(config, random.Random(seed))
+        if home_shard(script, config.shards) == shard
+    ]
+    conflict, compiled = shared_conflict_case(config.adt_kind, config.recovery)
+    system = _build_shard_subsystem(config, shard, conflict, compiled)
+    collector = trace if trace is not None else TraceCollector()
+    if not scripts:
+        metrics = RunMetrics(label=config.label())
+    else:
+        metrics = _run_shard(
+            system, scripts, config, seed=seed, trace=collector
+        )
+    return {
+        "metrics": metrics,
+        "latencies": _latencies_from_trace(collector.events),
+        "shard": shard,
+        "offered": len(scripts),
+        "objects": len(system.objects),
+        "forces": sum(
+            row["forces"] for row in system.force_accounting_by_shard()
+        ),
+        "operations": metrics.operations,
+    }
+
+
+def _build_shard_subsystem(
+    config: OpenLoopConfig, shard: int, conflict, compiled
+) -> ShardedSystem:
+    """A sharded system holding only ``shard``'s objects, all sharing one
+    derived conflict relation and one compiled bitmask table."""
+    from ..adts.registry import make_adt
+    from .durability import DurableObject
+    from .wal import GroupCommitPolicy, StableLog
+
+    policy = GroupCommitPolicy(config.group_commit, config.hold)
+    objects = []
+    for name in config.object_names():
+        if shard_of(name, config.shards) != shard:
+            continue
+        objects.append(
+            DurableObject(
+                make_adt(config.adt_kind, name),
+                conflict,
+                config.recovery.upper(),
+                log_factory=lambda: StableLog(policy=policy),
+                compiled_conflicts=compiled if compiled is not None else False,
+            )
+        )
+    return ShardedSystem(objects, shards=config.shards)
+
+
+def _drive_partitioned(
+    config: OpenLoopConfig, *, seed: int, workers: int
+) -> DriveReport:
+    from .parallel import Cell, ParallelRunner
+
+    cells = [
+        Cell(
+            index=k,
+            kind="openloop-shard",
+            spec={"config": config, "shard": k, "label": config.label()},
+            seed=seed,
+        )
+        for k in range(config.shards)
+    ]
+    runner = ParallelRunner(workers)
+    start = time.perf_counter()
+    results = runner.run(cells)
+    wall = time.perf_counter() - start
+    merged = RunMetrics(label=config.label())
+    latencies: List[int] = []
+    per_shard: List[Dict[str, int]] = []
+    failed: List[str] = []
+    offered = 0
+    for result in results:
+        if not result.ok:
+            failed.append("shard %d: %s" % (result.index, result.error))
+            continue
+        value = result.value
+        shard_metrics: RunMetrics = value["metrics"]
+        _merge_metrics(merged, shard_metrics)
+        latencies.extend(value["latencies"])
+        offered += int(value["offered"])
+        per_shard.append(
+            {
+                "shard": int(value["shard"]),
+                "objects": int(value["objects"]),
+                "committed": shard_metrics.committed,
+                "operations": int(value["operations"]),
+                "forces": int(value["forces"]),
+            }
+        )
+    latencies.sort()
+    return DriveReport(
+        label=config.label(),
+        shards=config.shards,
+        workers=workers,
+        offered=offered,
+        metrics=merged,
+        wall_s=wall,
+        latencies=latencies,
+        per_shard=per_shard,
+        failed=failed,
+    )
+
+
+#: RunMetrics counters that sum across shard runs; ``ticks`` maxes
+#: (shards run concurrently in wall-clock time).
+_ADDITIVE_FIELDS = (
+    "committed",
+    "aborted",
+    "restarts",
+    "deadlocks",
+    "operations",
+    "blocked_attempts",
+    "stuck_aborts",
+    "crash_aborts",
+    "forces",
+    "force_requests",
+    "forced_records",
+    "commit_stall_ticks",
+)
+
+
+def _merge_metrics(into: RunMetrics, part: RunMetrics) -> None:
+    for name in _ADDITIVE_FIELDS:
+        setattr(into, name, getattr(into, name) + getattr(part, name))
+    into.ticks = max(into.ticks, part.ticks)

@@ -46,6 +46,7 @@ import json
 import os
 from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .metrics import FaultCounters
@@ -210,6 +211,32 @@ def _worker_init(counter, trace_base: Optional[str]) -> None:
     _WORKER_STATE["trace_base"] = trace_base
 
 
+@lru_cache(maxsize=None)
+def shared_conflict_case(
+    adt_kind: str, recovery: str
+) -> Tuple[Any, Optional[Any]]:
+    """The shared read-only conflict registry for one ``(kind, recovery)``.
+
+    Returns ``(conflict, compiled)``: the recovery method's conflict
+    relation for the ADT kind (NRBC under UIP, NFC under DU) and its
+    compiled bitmask table (None when ``REPRO_INTERPRETED_CONFLICTS=1``
+    forces the interpreted path).  Cached **per process**: a persistent
+    pool worker derives each case once and reuses it across every cell
+    and every object it ever builds, instead of re-running the
+    commutativity checker per object — the dominant per-cell setup cost
+    for many-object open-loop shards.  Both values are immutable at
+    runtime (the relation answers pure verdict queries; the table is a
+    frozen mask array), so sharing one instance across objects is safe.
+    """
+    from ..adts.registry import make_adt
+    from ..analysis.compile_tables import maybe_compile
+
+    recovery = recovery.upper()
+    adt = make_adt(adt_kind)
+    conflict = adt.nrbc_conflict() if recovery == "UIP" else adt.nfc_conflict()
+    return conflict, maybe_compile(conflict)
+
+
 def _append_shard(trace: TraceCollector, cell_index: int) -> None:
     """Flush one completed cell's events to this worker's shard file."""
     base = _WORKER_STATE["trace_base"]
@@ -264,6 +291,11 @@ def _run_chunk(cells: Sequence[Cell]) -> List[CellResult]:
 # ---------------------------------------------------------------------------
 
 
+def _covered(chunk: Sequence[Cell], collected: Mapping[int, CellResult]) -> bool:
+    """Whether every cell of ``chunk`` already has a collected result."""
+    return all(cell.index in collected for cell in chunk)
+
+
 class ParallelRunner:
     """Fan independent cells out over a process pool; merge in cell order.
 
@@ -279,6 +311,14 @@ class ParallelRunner:
     :func:`stitch_trace_shards`); after the run the runner stitches the
     shards into ``trace_base`` itself, preferring each cell's winning
     worker.  Shard files are left on disk beside the stitched stream.
+
+    ``persistent=True`` keeps the worker pool alive across ``run()``
+    calls: repeated sweeps (a bench sweeping shard counts, a driver
+    re-driving per arrival rate) pay process startup once, and each
+    worker's per-process caches — :func:`shared_conflict_case`, the
+    fork-inherited ADT registry — stay warm.  Call :meth:`close` (or
+    use the runner as a context manager) when done; a broken pool is
+    discarded and rebuilt transparently on the next wave.
     """
 
     def __init__(
@@ -289,6 +329,7 @@ class ParallelRunner:
         trace_base: Optional[str] = None,
         retries: int = 1,
         mp_context: Optional[Any] = None,
+        persistent: bool = False,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1 (got %d)" % workers)
@@ -300,6 +341,7 @@ class ParallelRunner:
         self.chunk_size = chunk_size
         self.trace_base = trace_base
         self.retries = retries
+        self.persistent = persistent
         if mp_context is None:
             import multiprocessing
 
@@ -311,6 +353,23 @@ class ParallelRunner:
                 "fork" if "fork" in methods else None
             )
         self._mp = mp_context
+        #: the live pool (persistent mode keeps it across runs) and the
+        #: worker-id counter, shared across rebuilds so every worker —
+        #: including replacements after a death — gets a unique shard id.
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._counter = None
+
+    def __enter__(self) -> "ParallelRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the pool down (no-op when none is alive)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
 
     # -- public API ------------------------------------------------------------
 
@@ -357,13 +416,16 @@ class ParallelRunner:
 
     def _run_pool(self, cells: Sequence[Cell]) -> List[CellResult]:
         chunks = self._chunks(cells)
-        counter = self._mp.Value("i", 0)
         collected: Dict[int, CellResult] = {}
         pending = chunks
-        for _attempt in range(1 + self.retries):
-            if not pending:
-                break
-            pending = self._one_wave(pending, counter, collected)
+        try:
+            for _attempt in range(1 + self.retries):
+                if not pending:
+                    break
+                pending = self._one_wave(pending, collected)
+        finally:
+            if not self.persistent:
+                self.close()
         for chunk in pending:
             for cell in chunk:
                 collected[cell.index] = CellResult(
@@ -375,20 +437,30 @@ class ParallelRunner:
                 )
         return list(collected.values())
 
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The live pool, building one when none exists (or after a
+        broken pool was discarded).  The worker-id counter persists
+        across rebuilds so replacement workers extend the id sequence
+        instead of reusing shard files."""
+        if self._executor is None:
+            if self._counter is None:
+                self._counter = self._mp.Value("i", 0)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self._mp,
+                initializer=_worker_init,
+                initargs=(self._counter, self.trace_base),
+            )
+        return self._executor
+
     def _one_wave(
         self,
         chunks: List[List[Cell]],
-        counter,
         collected: Dict[int, CellResult],
     ) -> List[List[Cell]]:
         """Run one pool over ``chunks``; return the chunks whose worker died."""
         dead: List[List[Cell]] = []
-        executor = ProcessPoolExecutor(
-            max_workers=self.workers,
-            mp_context=self._mp,
-            initializer=_worker_init,
-            initargs=(counter, self.trace_base),
-        )
+        executor = self._ensure_pool()
         try:
             futures = {
                 executor.submit(_run_chunk, chunk): chunk for chunk in chunks
@@ -407,8 +479,13 @@ class ParallelRunner:
                         # this pool will surface the same way and be
                         # retried together on a fresh pool.
                         dead.append(chunk)
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+        except BrokenExecutor:
+            # submit() itself can raise on an already-broken pool.
+            dead = [c for c in chunks if not _covered(c, collected)]
+        if dead:
+            # A broken pool cannot be reused: discard it so the retry
+            # wave (or the next persistent run) builds a fresh one.
+            self.close()
         return dead
 
 
@@ -511,6 +588,25 @@ def _execute_run(cell: Cell, trace: Optional[TraceCollector]) -> Any:
     ).run()
 
 
+def _execute_openloop_shard(cell: Cell, trace: Optional[TraceCollector]) -> Any:
+    """One shard's slice of an open-loop drive (see
+    :func:`repro.runtime.openloop.run_shard_cell`).
+
+    Spec keys: ``config`` (a picklable
+    :class:`~repro.runtime.openloop.OpenLoopConfig`) and ``shard``.  The
+    worker regenerates the full offered load deterministically from
+    ``(config, cell.seed)`` and keeps only its shard's scripts, so the
+    merged counters match the in-process sharded run regardless of how
+    cells land on workers.
+    """
+    from .openloop import run_shard_cell
+
+    return run_shard_cell(
+        cell.spec["config"], int(cell.spec["shard"]), cell.seed, trace
+    )
+
+
 register_executor("compare", _execute_compare)
 register_executor("torture", _execute_torture)
 register_executor("run", _execute_run)
+register_executor("openloop-shard", _execute_openloop_shard)

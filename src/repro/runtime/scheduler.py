@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.events import Invocation
 from .errors import InvalidTransactionState
@@ -78,6 +78,7 @@ class Scheduler:
         label: str = "",
         on_tick=None,
         trace=None,
+        arrivals: Optional[Mapping[str, int]] = None,
     ):
         names = [s.name for s in scripts]
         if len(set(names)) != len(names):
@@ -101,6 +102,23 @@ class Scheduler:
         self._live: List[_LiveTxn] = [
             _LiveTxn(script=s, txn=s.name) for s in scripts
         ]
+        #: open-loop arrivals (script name -> arrival tick): the script
+        #: enters the system at its arrival tick rather than at tick 1,
+        #: independent of how many earlier transactions have finished —
+        #: the open-loop property the traffic driver
+        #: (:mod:`repro.runtime.openloop`) relies on.  ``born_tick``
+        #: starts at the arrival, so commit latency measures time *in*
+        #: the system (queueing + contention + durability stalls).
+        if arrivals:
+            for entry in self._live:
+                tick = int(arrivals.get(entry.script.name, 0))
+                if tick < 0:
+                    raise ValueError(
+                        "arrival tick must be >= 0 (got %d for %s)"
+                        % (tick, entry.script.name)
+                    )
+                entry.born_tick = tick
+                entry.backoff_until = tick
         self._waits = WaitsForGraph()
 
     # -- main loop -----------------------------------------------------------------

@@ -39,7 +39,7 @@ import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Bumped when event kinds or required fields are added.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: kind -> required fields beyond ``tick`` and ``kind``.  See the module
 #: docstring for stability guarantees; docs/API.md documents semantics.
@@ -73,6 +73,12 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "crash": ("victims", "resolved"),
     "log-crash": ("obj", "lost"),
     "recovery": ("obj", "records"),
+    # sharded runtime (schema v2): events from a sharded system's
+    # objects and logs additionally carry a ``shard`` id field.
+    "shard-crash": ("shard", "victims", "resolved"),
+    # open-loop driver (schema v2)
+    "drive-start": ("label", "shards", "arrival_rate"),
+    "drive-end": ("label", "committed", "p50", "p95", "p99"),
 }
 
 #: ``txn-abort`` reasons with a defined meaning.
@@ -110,7 +116,16 @@ class TraceCollector:
     def bind_system(self, system: Any) -> None:
         """Attach this collector to a transaction system's emit sites:
         the system itself (2PC/crash events), every managed object
-        (lock-wait attribution) and every stable log (force engine)."""
+        (lock-wait attribution) and every stable log (force engine).
+
+        A system that needs custom wiring — the sharded runtime stamps
+        object/log events with their shard id — exposes ``bind_trace``
+        and takes over from here.
+        """
+        binder = getattr(system, "bind_trace", None)
+        if binder is not None:
+            binder(self)
+            return
         system.trace = self
         for obj in system.objects.values():
             obj.trace = self

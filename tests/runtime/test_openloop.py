@@ -1,0 +1,216 @@
+"""Tests for the open-loop traffic driver (:mod:`repro.runtime.openloop`)."""
+
+import math
+import random
+
+import pytest
+
+from repro.runtime.openloop import (
+    DriveReport,
+    OpenLoopConfig,
+    ZipfChooser,
+    arrival_ticks,
+    drive,
+    home_shard,
+    open_loop_scripts,
+    zipf_weights,
+)
+from repro.runtime.sharding import shard_of
+from repro.runtime.trace import TraceCollector
+
+# ---------------------------------------------------------------------------
+# configuration
+# ---------------------------------------------------------------------------
+
+
+def test_config_validates_knobs():
+    for bad in (
+        dict(objects=0),
+        dict(shards=0),
+        dict(transactions=0),
+        dict(ops_per_txn=0),
+        dict(arrival_rate=0.0),
+        dict(process="steady"),
+        dict(burst_factor=0.5),
+        dict(zipf_s=-1.0),
+        dict(cross_shard=1.5),
+    ):
+        with pytest.raises(ValueError):
+            OpenLoopConfig(**bad)
+
+
+def test_object_names_are_stable_and_distinct():
+    names = OpenLoopConfig(objects=12).object_names()
+    assert len(names) == 12
+    assert len(set(names)) == 12
+    assert names == OpenLoopConfig(objects=12).object_names()
+
+
+# ---------------------------------------------------------------------------
+# zipfian hot keys
+# ---------------------------------------------------------------------------
+
+
+def test_zipf_weights_normalize_and_rank():
+    weights = zipf_weights(10, 1.1)
+    assert math.isclose(sum(weights), 1.0)
+    assert weights == sorted(weights, reverse=True)
+    # s=0 degenerates to uniform
+    assert all(math.isclose(w, 0.1) for w in zipf_weights(10, 0.0))
+
+
+def test_zipf_chooser_is_skewed_and_deterministic():
+    chooser = ZipfChooser(16, 1.1)
+    rng = random.Random(0)
+    picks = [chooser.pick(rng) for _ in range(2000)]
+    assert all(0 <= p < 16 for p in picks)
+    # rank 0 is the hot key: it must dominate the tail ranks
+    assert picks.count(0) > 3 * picks.count(8)
+    rng2 = random.Random(0)
+    assert picks == [chooser.pick(rng2) for _ in range(2000)]
+
+
+# ---------------------------------------------------------------------------
+# arrivals
+# ---------------------------------------------------------------------------
+
+
+def test_poisson_arrivals_are_monotone_and_near_rate():
+    config = OpenLoopConfig(transactions=500, arrival_rate=2.0)
+    ticks = arrival_ticks(config, random.Random(1))
+    assert len(ticks) == 500
+    assert all(t >= 1 for t in ticks)
+    assert ticks == sorted(ticks)
+    # mean offered rate within 25% of the target over 500 arrivals
+    rate = len(ticks) / ticks[-1]
+    assert 1.5 < rate < 2.5
+
+
+def test_bursty_arrivals_cluster_in_on_windows():
+    config = OpenLoopConfig(
+        transactions=400,
+        arrival_rate=1.0,
+        process="bursty",
+        burst_factor=4.0,
+        burst_period=64,
+    )
+    ticks = arrival_ticks(config, random.Random(1))
+    assert ticks == sorted(ticks)
+    # every arrival lands inside the on-window (first period/factor
+    # ticks of each period)
+    on = config.burst_period / config.burst_factor
+    assert all((t - 1) % config.burst_period < on + 1 for t in ticks)
+    # the long-run mean rate is preserved (within 30%)
+    rate = len(ticks) / ticks[-1]
+    assert 0.7 < rate < 1.3
+
+
+def test_arrivals_are_deterministic_per_seed():
+    config = OpenLoopConfig(transactions=50, arrival_rate=3.0)
+    a = arrival_ticks(config, random.Random(9))
+    b = arrival_ticks(config, random.Random(9))
+    c = arrival_ticks(config, random.Random(10))
+    assert a == b
+    assert a != c
+
+
+# ---------------------------------------------------------------------------
+# script generation
+# ---------------------------------------------------------------------------
+
+
+def test_open_loop_scripts_are_deterministic():
+    config = OpenLoopConfig(objects=8, shards=2, transactions=30)
+    a = open_loop_scripts(config, random.Random(4))
+    b = open_loop_scripts(config, random.Random(4))
+    assert [(s.name, s.steps, t) for s, t in a] == [
+        (s.name, s.steps, t) for s, t in b
+    ]
+
+
+def test_single_shard_scripts_stay_on_their_home_shard():
+    config = OpenLoopConfig(objects=16, shards=4, transactions=40)
+    for script, _ in open_loop_scripts(config, random.Random(2)):
+        home = home_shard(script, config.shards)
+        for obj, _inv in script.steps:
+            assert shard_of(obj, config.shards) == home
+
+
+def test_cross_shard_scripts_touch_two_shards():
+    config = OpenLoopConfig(
+        objects=16, shards=4, transactions=60, cross_shard=1.0
+    )
+    crossing = 0
+    for script, _ in open_loop_scripts(config, random.Random(2)):
+        shards = {shard_of(obj, config.shards) for obj, _ in script.steps}
+        assert len(shards) <= 2
+        crossing += len(shards) == 2
+    assert crossing > 30  # cross_shard=1.0: nearly all transactions cross
+
+
+# ---------------------------------------------------------------------------
+# driving
+# ---------------------------------------------------------------------------
+
+
+def test_drive_commits_the_offered_load_and_measures_latency():
+    config = OpenLoopConfig(
+        adt_kind="counter", objects=8, shards=2, transactions=24
+    )
+    trace = TraceCollector()
+    report = drive(config, seed=5, trace=trace)
+    assert isinstance(report, DriveReport)
+    assert report.ok
+    assert report.offered == 24
+    assert report.metrics.committed == 24
+    assert len(report.latencies) == 24
+    assert report.latencies == sorted(report.latencies)
+    summary = report.latency_summary()
+    assert summary["p50"] <= summary["p95"] <= summary["p99"] <= summary["max"]
+    kinds = {e["kind"] for e in trace.events}
+    assert "drive-start" in kinds and "drive-end" in kinds
+    assert len(report.per_shard) == 2
+    assert sum(row["committed"] for row in report.per_shard) == 24
+    assert "open-loop drive" in report.format()
+
+
+def test_drive_latency_counts_from_arrival_not_tick_one():
+    # A tiny rate spreads arrivals out; if born_tick ignored arrivals,
+    # late transactions would show huge latencies.
+    config = OpenLoopConfig(
+        adt_kind="counter", objects=4, transactions=10, arrival_rate=0.05
+    )
+    report = drive(config, seed=1)
+    assert report.metrics.committed == 10
+    # with ~20 ticks between arrivals and no contention, commit latency
+    # stays small even though the run spans hundreds of ticks
+    assert report.metrics.ticks > 50
+    assert report.latency_summary()["p99"] < 30
+
+
+def test_partitioned_drive_matches_per_shard_serial_runs():
+    config = OpenLoopConfig(
+        adt_kind="counter", objects=8, shards=2, transactions=30
+    )
+    serial = drive(config, seed=6, workers=1)
+    parallel = drive(config, seed=6, workers=2)
+    assert parallel.ok
+    assert parallel.offered == serial.offered == 30
+    assert parallel.metrics.committed == serial.metrics.committed
+    assert parallel.metrics.operations == serial.metrics.operations
+    # per-shard committed counts agree exactly with the serial run
+    assert {
+        (r["shard"], r["committed"]) for r in parallel.per_shard
+    } == {(r["shard"], r["committed"]) for r in serial.per_shard}
+
+
+def test_partitioned_drive_rejects_cross_shard_and_shared_trace():
+    config = OpenLoopConfig(objects=8, shards=2, cross_shard=0.5)
+    with pytest.raises(ValueError):
+        drive(config, workers=2)
+    with pytest.raises(ValueError):
+        drive(
+            OpenLoopConfig(objects=8, shards=2),
+            workers=2,
+            trace=TraceCollector(),
+        )
