@@ -147,6 +147,11 @@ class BankAccount(ADT):
             invocations.append(inv("withdraw", i))
         return tuple(invocations)
 
+    def readonly_invocations(
+        self, domain: Optional[Sequence[int]] = None
+    ) -> Tuple[Invocation, ...]:
+        return (inv("balance"),)
+
     def operation_classes(
         self, domain: Optional[Sequence[int]] = None
     ) -> Tuple[OperationClass, ...]:

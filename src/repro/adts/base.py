@@ -81,6 +81,18 @@ class ADT(StateMachineSpec):
         """All invocations over the (bounded) argument domain."""
         raise NotImplementedError
 
+    def readonly_invocations(
+        self, domain: Optional[Sequence[Hashable]] = None
+    ) -> Tuple[Invocation, ...]:
+        """The pure observer invocations: those that never change the
+        abstract state from any reachable state (e.g. ``read``,
+        ``balance``, ``member``).  The multiversion snapshot path serves
+        exactly these without locks; ADTs whose every invocation mutates
+        (queues, stacks) keep the empty default and opt out of
+        ``read_mix`` workloads.
+        """
+        return ()
+
     def operation_classes(
         self, domain: Optional[Sequence[Hashable]] = None
     ):

@@ -90,6 +90,11 @@ class Counter(ADT):
             invocations.append(inv("decrement", i))
         return tuple(invocations)
 
+    def readonly_invocations(
+        self, domain: Optional[Sequence[int]] = None
+    ) -> Tuple[Invocation, ...]:
+        return (inv("read"),)
+
     def operation_classes(
         self, domain: Optional[Sequence[int]] = None
     ) -> Tuple[OperationClass, ...]:

@@ -140,6 +140,12 @@ class KVStore(ADT):
                 invocations.append(inv("put", k, v))
         return tuple(invocations)
 
+    def readonly_invocations(
+        self, domain: Optional[Sequence[Hashable]] = None
+    ) -> Tuple[Invocation, ...]:
+        keys = tuple(domain) if domain is not None else self._keys
+        return tuple(inv("get", k) for k in keys)
+
     def operation_classes(
         self, domain: Optional[Sequence[Hashable]] = None
     ) -> Tuple[OperationClass, ...]:

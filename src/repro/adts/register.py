@@ -93,6 +93,11 @@ class Register(ADT):
         domain = tuple(domain) if domain is not None else self._domain
         return tuple([inv("read")] + [inv("write", v) for v in domain])
 
+    def readonly_invocations(
+        self, domain: Optional[Sequence[Hashable]] = None
+    ) -> Tuple[Invocation, ...]:
+        return (inv("read"),)
+
     def operation_classes(
         self, domain: Optional[Sequence[Hashable]] = None
     ) -> Tuple[OperationClass, ...]:

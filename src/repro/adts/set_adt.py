@@ -138,6 +138,12 @@ class SetADT(ADT):
             invocations.append(inv("member", x))
         return tuple(invocations)
 
+    def readonly_invocations(
+        self, domain: Optional[Sequence[Hashable]] = None
+    ) -> Tuple[Invocation, ...]:
+        domain = tuple(domain) if domain is not None else self._domain
+        return tuple(inv("member", x) for x in domain)
+
     def operation_classes(
         self, domain: Optional[Sequence[Hashable]] = None
     ) -> Tuple[OperationClass, ...]:

@@ -41,11 +41,15 @@ Commands
     Drive the sharded runtime with open-loop traffic: Poisson or bursty
     arrivals at ``--arrival-rate`` transactions/tick, zipfian hot keys
     (``--zipf S``), objects hash-partitioned over ``--shards N``, and a
-    ``--cross-shard`` fraction of two-shard 2PC transactions.  Prints
-    commit-latency percentiles (p50/p95/p99 in ticks) and per-shard
-    traffic.  ``--workers N`` fans single-shard traffic over one worker
-    process per shard (requires ``--cross-shard 0``); the merged
-    counters match the serial run.
+    ``--cross-shard`` fraction of two-shard 2PC transactions.  A
+    ``--read-mix F`` fraction of arrivals are read-only transactions,
+    by default on the lock-free multiversion snapshot path
+    (``--ro-mode locked`` runs the same scripts through the ordinary
+    locked path instead — the EXP-C16 baseline).  Prints commit-latency
+    percentiles (p50/p95/p99 in ticks) and per-shard traffic.
+    ``--workers N`` fans single-shard traffic over one worker process
+    per shard (requires ``--cross-shard 0``); the merged counters match
+    the serial run.
 ``trace-report <t.jsonl>``
     Validate and summarize a structured run trace written by
     ``repro run --trace-out`` / ``repro torture --trace-out`` (with
@@ -227,7 +231,23 @@ def cmd_compare(args) -> int:
     _check_workload_args(args)
     _check_min(args, (("seeds", 1), ("opening", 0)))
     _check_parallel_args(args)
+    if not 0.0 <= args.read_mix <= 1.0:
+        raise SystemExit(
+            "--read-mix must be in [0.0, 1.0] (got %g)" % args.read_mix
+        )
     seeds = tuple(range(args.seed_base, args.seed_base + args.seeds))
+    try:
+        adt_factory, workload = comparison_case(
+            args.workload,
+            transactions=args.transactions,
+            ops_per_txn=args.ops,
+            opening=args.opening,
+            read_mix=args.read_mix,
+            ro_mode=args.ro_mode,
+        )
+    except ValueError as exc:
+        # e.g. a queue workload with --read-mix: no observer invocations.
+        raise SystemExit(str(exc))
     if args.workers > 1:
         summaries, failed = compare_parallel(
             args.workload,
@@ -235,6 +255,8 @@ def cmd_compare(args) -> int:
             transactions=args.transactions,
             ops_per_txn=args.ops,
             opening=args.opening,
+            read_mix=args.read_mix,
+            ro_mode=args.ro_mode,
             workers=args.workers,
         )
         print(format_summary_table(summaries))
@@ -245,12 +267,6 @@ def cmd_compare(args) -> int:
                 print("  cell %d: %s" % (result.index, result.error))
             return 1
         return 0
-    adt_factory, workload = comparison_case(
-        args.workload,
-        transactions=args.transactions,
-        ops_per_txn=args.ops,
-        opening=args.opening,
-    )
     summaries = compare(adt_factory, workload, seeds=seeds)
     print(format_summary_table(summaries))
     return 0
@@ -412,6 +428,10 @@ def cmd_drive(args) -> int:
         )
     if args.zipf < 0:
         raise SystemExit("--zipf must be >= 0 (got %g)" % args.zipf)
+    if not 0.0 <= args.read_mix <= 1.0:
+        raise SystemExit(
+            "--read-mix must be in [0, 1] (got %g)" % args.read_mix
+        )
     if args.workers > 1 and args.cross_shard > 0:
         raise SystemExit(
             "--workers > 1 partitions traffic per shard and requires "
@@ -435,6 +455,8 @@ def cmd_drive(args) -> int:
         burst_period=args.burst_period,
         zipf_s=args.zipf,
         cross_shard=args.cross_shard,
+        read_mix=args.read_mix,
+        ro_mode=args.ro_mode,
         recovery=args.recovery.upper(),
         group_commit=args.group_commit,
         hold=args.hold,
@@ -444,12 +466,16 @@ def cmd_drive(args) -> int:
         from .runtime.trace import TraceCollector
 
         trace = TraceCollector()
-    report = drive(
-        config,
-        seed=args.seed_base + args.seed,
-        workers=args.workers,
-        trace=trace,
-    )
+    try:
+        report = drive(
+            config,
+            seed=args.seed_base + args.seed,
+            workers=args.workers,
+            trace=trace,
+        )
+    except ValueError as exc:
+        # e.g. an observer-less ADT (fifo/semiqueue) with --read-mix.
+        raise SystemExit(str(exc))
     print(report.format())
     if trace is not None:
         count = trace.dump_jsonl(args.trace_out)
@@ -475,6 +501,10 @@ def cmd_torture(args) -> int:
             ("checkpoint_every", 0),
         ),
     )
+    if not 0.0 <= args.read_mix <= 1.0:
+        raise SystemExit(
+            "--read-mix must be in [0.0, 1.0] (got %g)" % args.read_mix
+        )
     if args.adt == "all":
         adt_kinds = sorted(ADT_REGISTRY)
     else:
@@ -498,6 +528,7 @@ def cmd_torture(args) -> int:
         group_commit=args.group_commit,
         hold=args.hold,
         bug=args.inject_bug,
+        read_mix=args.read_mix,
     )
     seed = args.seed_base + args.seed
     trace = None
@@ -607,6 +638,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--transactions", type=int, default=8)
     p.add_argument("--ops", type=int, default=3)
     p.add_argument("--opening", type=int, default=100)
+    p.add_argument(
+        "--read-mix",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="fraction of transactions added as read-only reader scripts "
+        "(0 disables; observer-less workloads like fifo/semiqueue reject it)",
+    )
+    p.add_argument(
+        "--ro-mode",
+        choices=("snapshot", "locked"),
+        default="snapshot",
+        help="run readers on the lock-free snapshot path or as identically"
+        "-drawn locked transactions (baseline)",
+    )
     p.add_argument(
         "--workers",
         type=int,
@@ -731,6 +777,22 @@ def build_parser() -> argparse.ArgumentParser:
         "another shard (2PC across shards)",
     )
     p.add_argument(
+        "--read-mix",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="fraction of arrivals that are read-only transactions "
+        "(observer invocations only; 0 = pure update traffic)",
+    )
+    p.add_argument(
+        "--ro-mode",
+        choices=["snapshot", "locked"],
+        default="snapshot",
+        help="how read-only arrivals execute: lock-free multiversion "
+        "snapshot reads (default) or the ordinary locked path (the "
+        "EXP-C16 baseline; identical scripts either way)",
+    )
+    p.add_argument(
         "--recovery", choices=["du", "uip"], default="du", help="recovery method"
     )
     p.add_argument("--transactions", type=int, default=128)
@@ -803,6 +865,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--transactions", type=int, default=4)
     p.add_argument("--ops", type=int, default=2)
+    p.add_argument(
+        "--read-mix",
+        type=float,
+        default=0.0,
+        metavar="F",
+        help="add snapshot reader scripts per schedule (fraction of "
+        "--transactions; observer-less ADTs are skipped silently)",
+    )
     p.add_argument(
         "--max-faults",
         type=int,

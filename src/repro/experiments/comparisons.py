@@ -54,6 +54,7 @@ from ..runtime import (
     set_membership_workload,
     summarize,
 )
+from ..runtime.workloads import readonly_snapshot_workload
 from ..runtime.scheduler import TransactionScript
 
 
@@ -117,6 +118,8 @@ def comparison_case(
     transactions: int = 8,
     ops_per_txn: int = 3,
     opening: int = 100,
+    read_mix: float = 0.0,
+    ro_mode: str = "snapshot",
 ) -> Tuple[Callable[[], ADT], Callable[[random.Random], Sequence[TransactionScript]]]:
     """``(adt_factory, workload_fn)`` for a named comparison workload.
 
@@ -124,6 +127,14 @@ def comparison_case(
     parallel ``compare`` cell executor: both sides rebuild the exact
     same factories from ``(name, knobs)``, which is what makes the
     parallel sweep byte-identical to the serial one.
+
+    ``read_mix`` adds ``round(read_mix * transactions)`` read-only
+    reader scripts over the ADT's observer invocations: on the
+    lock-free multiversion snapshot path by default, or — with
+    ``ro_mode="locked"`` — the *identical* scripts through the ordinary
+    locked path, so the two modes compare draw for draw.  Workloads
+    whose ADT has no observers (the queues) reject a nonzero
+    ``read_mix``.
     """
     cases: Dict[str, Tuple[Callable[[], ADT], Callable]] = {
         "hotspot": (
@@ -174,7 +185,42 @@ def comparison_case(
             "unknown workload %r (choose from: %s)"
             % (workload, ", ".join(sorted(cases)))
         )
-    return cases[workload]
+    adt_factory, base_workload = cases[workload]
+    if not read_mix:
+        return adt_factory, base_workload
+    if not 0.0 <= read_mix <= 1.0:
+        raise ValueError("read_mix must be in [0, 1] (got %g)" % read_mix)
+    if ro_mode not in ("snapshot", "locked"):
+        raise ValueError(
+            "ro_mode must be 'snapshot' or 'locked' (got %r)" % ro_mode
+        )
+    probe = adt_factory()
+    if not probe.readonly_invocations():
+        raise ValueError(
+            "workload %r uses ADT %r, which has no read-only observer "
+            "invocations; read_mix > 0 is unsupported for it"
+            % (workload, probe.name)
+        )
+    readers = max(1, round(read_mix * transactions))
+
+    def workload_with_readers(
+        rng: random.Random,
+    ) -> Sequence[TransactionScript]:
+        scripts = list(base_workload(rng))
+        adt = adt_factory()
+        scripts.extend(
+            readonly_snapshot_workload(
+                adt,
+                rng,
+                objs=[adt.name],
+                readers=readers,
+                reads_per_txn=ops_per_txn,
+                snapshot=(ro_mode == "snapshot"),
+            )
+        )
+        return scripts
+
+    return adt_factory, workload_with_readers
 
 
 def run_configuration(
@@ -229,6 +275,8 @@ def compare_cells(
     transactions: int = 8,
     ops_per_txn: int = 3,
     opening: int = 100,
+    read_mix: float = 0.0,
+    ro_mode: str = "snapshot",
     max_restarts: int = 25,
 ) -> List["Cell"]:
     """The cell decomposition of one named comparison sweep.
@@ -258,6 +306,8 @@ def compare_cells(
                         "transactions": transactions,
                         "ops": ops_per_txn,
                         "opening": opening,
+                        "read_mix": read_mix,
+                        "ro_mode": ro_mode,
                         "max_restarts": max_restarts,
                         "label": "%s/%s" % (workload, label),
                     },
@@ -275,6 +325,8 @@ def compare_parallel(
     transactions: int = 8,
     ops_per_txn: int = 3,
     opening: int = 100,
+    read_mix: float = 0.0,
+    ro_mode: str = "snapshot",
     max_restarts: int = 25,
     workers: int = 1,
 ) -> Tuple[List[MetricsSummary], List["CellResult"]]:
@@ -301,6 +353,8 @@ def compare_parallel(
         transactions=transactions,
         ops_per_txn=ops_per_txn,
         opening=opening,
+        read_mix=read_mix,
+        ro_mode=ro_mode,
         max_restarts=max_restarts,
     )
     results = ParallelRunner(workers).run(cells)

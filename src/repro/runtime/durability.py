@@ -207,6 +207,12 @@ class DurableObject(ManagedObject):
         if not has_commit_event:
             self._events.append(commit_event(self.name, txn))
         self._pending.pop(txn, None)
+        # Fold the winner into the committed macro-state for the version
+        # chain.  Idempotent across a crash that landed mid-completion:
+        # if the volatile commit already ran here, the recovery manager
+        # has dropped the transaction's executed record and this is a
+        # no-op.
+        self._advance_committed(txn)
 
     def crash_and_restart(self) -> None:
         """Lose all volatile state; rebuild from the stable log.
@@ -267,7 +273,9 @@ class CrashableSystem(TransactionSystem):
            retracted where it already happened;
         4. every other in-flight transaction is killed: no undo, no log
            records, just the abort events that keep the bookkeeping
-           history well formed and auditable;
+           history well formed and auditable; active read-only snapshot
+           transactions (volatile registrations, no locks, no events)
+           are killed too;
         5. every object loses its volatile state and restarts from its
            stable log.
 
@@ -282,10 +290,18 @@ class CrashableSystem(TransactionSystem):
         self._committing.clear()
         for obj in self.objects.values():
             obj.wal.log.crash()
+        victims: Set[str] = set()
+        # Active snapshot readers die with the process: their snapshot
+        # registration is volatile state.  The version chains themselves
+        # only hold durably committed versions, so nothing is retracted
+        # — restarted readers simply take a fresh snapshot.
+        for txn in sorted(self._ro_active):
+            del self._ro_active[txn]
+            self._finished[txn] = "aborted"
+            victims.add(txn)
         candidates = [
             txn for txn in self._touched if txn not in self._finished
         ]
-        victims: Set[str] = set()
         resolved: List[str] = []
         for txn in sorted(candidates):
             touched = sorted(self._touched[txn])
@@ -298,6 +314,10 @@ class CrashableSystem(TransactionSystem):
                     self.objects[name].crash_commit(txn)
                 self._finished[txn] = "committed"
                 resolved.append(txn)
+                # The commit is durable everywhere it touched: give it a
+                # CSN and install its version, exactly as a normal
+                # completion would have.
+                self._install_versions(txn, touched)
             else:
                 for name in touched:
                     self.objects[name].crash_kill(txn)

@@ -71,6 +71,12 @@ class LockManager:
     def __init__(self, conflict: ConflictRelation, *, compiled: CompiledArg = "auto"):
         self.conflict = conflict
         self._held: Dict[str, List[Operation]] = {}
+        #: every transaction that ever acquired a lock here, across the
+        #: manager's lifetime (releases don't erase it).  The read-only
+        #: snapshot path bypasses the lock manager entirely, and the
+        #: audits assert that by checking no read-only transaction ever
+        #: shows up in :meth:`lifetime_holders` on any object.
+        self._ever_held: Set[str] = set()
         #: the compiled bitmask table, or None on the interpreted path.
         self.compiled: Optional[CompiledConflict] = resolve_compiled(
             conflict, compiled
@@ -94,6 +100,12 @@ class LockManager:
     def holders(self) -> FrozenSet[str]:
         """Transactions currently holding at least one operation."""
         return frozenset(self._held)
+
+    def lifetime_holders(self) -> FrozenSet[str]:
+        """Every transaction that ever acquired a lock here (cumulative,
+        survives releases — the zero-locks audit surface for read-only
+        snapshot transactions)."""
+        return frozenset(self._ever_held)
 
     def blockers(self, txn: str, operation: Operation) -> FrozenSet[str]:
         """Other transactions whose held operations conflict with ``operation``."""
@@ -158,6 +170,7 @@ class LockManager:
     def acquire(self, txn: str, operation: Operation) -> None:
         """Record an executed operation; caller must have checked blockers."""
         self._held.setdefault(txn, []).append(operation)
+        self._ever_held.add(txn)
         if self.compiled is not None:
             idx = self.compiled.class_index(operation)
             self._held_masks[txn] = self._held_masks.get(txn, 0) | (1 << idx)

@@ -68,6 +68,12 @@ class RunMetrics:
     #: ticks finished transactions spent waiting for their commit batch
     #: to flush (the acknowledgment latency group commit trades away).
     commit_stall_ticks: int = 0
+    #: read-only snapshot transactions (the multiversion path): commits,
+    #: individual snapshot reads served lock-free, and aborts (an RO
+    #: transaction only aborts when a crash kills it mid-flight).
+    ro_committed: int = 0
+    ro_snapshot_reads: int = 0
+    ro_aborts: int = 0
     #: present when the run executed under fault injection.
     faults: Optional[FaultCounters] = None
 
@@ -125,6 +131,9 @@ class RunMetrics:
             self.forces,
             self.force_requests,
             self.forced_records,
+            self.ro_committed,
+            self.ro_snapshot_reads,
+            self.ro_aborts,
             round(self.throughput, 4),
         )
 
@@ -156,6 +165,9 @@ class MetricsSummary:
     mean_forces: float = 0.0
     mean_force_requests: float = 0.0
     mean_forced_records: float = 0.0
+    mean_ro_committed: float = 0.0
+    mean_ro_snapshot_reads: float = 0.0
+    mean_ro_aborts: float = 0.0
     #: FaultCounters of every run merged (None when no run carried any).
     faults: Optional[FaultCounters] = None
 
@@ -194,6 +206,9 @@ def summarize(label: str, runs: Sequence[RunMetrics]) -> MetricsSummary:
         mean_forces=mean("forces"),
         mean_force_requests=mean("force_requests"),
         mean_forced_records=mean("forced_records"),
+        mean_ro_committed=mean("ro_committed"),
+        mean_ro_snapshot_reads=mean("ro_snapshot_reads"),
+        mean_ro_aborts=mean("ro_aborts"),
         faults=faults,
     )
 
@@ -212,6 +227,9 @@ _OPTIONAL_COLUMNS: Tuple[Tuple[str, str], ...] = (
     ("forces", "mean_forces"),
     ("f-req", "mean_force_requests"),
     ("f-rec", "mean_forced_records"),
+    ("ro-commit", "mean_ro_committed"),
+    ("ro-reads", "mean_ro_snapshot_reads"),
+    ("ro-abort", "mean_ro_aborts"),
 )
 
 

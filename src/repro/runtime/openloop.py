@@ -48,11 +48,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .metrics import RunMetrics
 from .scheduler import Scheduler, TransactionScript
 from .sharding import ShardedSystem, build_sharded_system, shard_of
-from .trace import TraceCollector, _percentile
+from .trace import PERCENTILES, TraceCollector, _percentile
 from .workloads import _script
 
-#: Latency percentiles reported everywhere (trace ticks).
-PERCENTILES = (0.50, 0.95, 0.99)
+__all__ = ["OpenLoopConfig", "DriveReport", "drive", "PERCENTILES"]
 
 
 # ---------------------------------------------------------------------------
@@ -76,6 +75,8 @@ class OpenLoopConfig:
     burst_period: int = 64  # bursty: on/off cycle length in ticks
     zipf_s: float = 1.1  # hot-key skew exponent (0 = uniform)
     cross_shard: float = 0.0  # fraction of two-object cross-shard txns
+    read_mix: float = 0.0  # fraction of arrivals that are read-only
+    ro_mode: str = "snapshot"  # "snapshot" (lock-free) | "locked" baseline
     recovery: str = "DU"
     group_commit: int = 1
     hold: int = 4
@@ -105,15 +106,28 @@ class OpenLoopConfig:
             raise ValueError("zipf_s must be >= 0")
         if not 0.0 <= self.cross_shard <= 1.0:
             raise ValueError("cross_shard must be in [0, 1]")
+        if not 0.0 <= self.read_mix <= 1.0:
+            raise ValueError("read_mix must be in [0, 1]")
+        if self.ro_mode not in ("snapshot", "locked"):
+            raise ValueError(
+                "ro_mode must be 'snapshot' or 'locked', not %r" % self.ro_mode
+            )
 
     def label(self) -> str:
-        return "drive/%s/%s/s%d/r%g/z%g" % (
+        base = "drive/%s/%s/s%d/r%g/z%g" % (
             self.adt_kind,
             self.process,
             self.shards,
             self.arrival_rate,
             self.zipf_s,
         )
+        # The suffix appears only for RO-mix scenarios so every existing
+        # label (and the BENCH equality fields keyed on it) is unchanged.
+        if self.read_mix > 0:
+            base += "/ro%g" % self.read_mix
+            if self.ro_mode != "snapshot":
+                base += "-" + self.ro_mode
+        return base
 
     def object_names(self) -> List[str]:
         """The key space: ``K00`` .. ``K<objects-1>``, zero-padded."""
@@ -137,6 +151,10 @@ class ZipfChooser:
     """Seeded zipfian sampling over ``n`` ranks via inverse-CDF bisect."""
 
     def __init__(self, n: int, s: float) -> None:
+        if n < 1:
+            raise ValueError(
+                "ZipfChooser needs at least one rank (got n=%d)" % n
+            )
         self._cdf: List[float] = []
         acc = 0.0
         for w in zipf_weights(n, s):
@@ -199,11 +217,19 @@ def open_loop_scripts(
     from ..adts.registry import make_adt
 
     names = config.object_names()
-    alphabet = list(make_adt(config.adt_kind).invocation_alphabet())
+    adt = make_adt(config.adt_kind)
+    alphabet = list(adt.invocation_alphabet())
+    observers = list(adt.readonly_invocations())
+    if config.read_mix > 0 and not observers:
+        raise ValueError(
+            "adt %r has no read-only observer invocations; "
+            "read_mix > 0 is unsupported for it" % config.adt_kind
+        )
     chooser = ZipfChooser(config.objects, config.zipf_s)
     arrivals = arrival_ticks(config, rng)
     out: List[Tuple[TransactionScript, int]] = []
     for t, arrival in enumerate(arrivals):
+        readonly = config.read_mix > 0 and rng.random() < config.read_mix
         home = names[chooser.pick(rng)]
         second: Optional[str] = None
         if config.cross_shard > 0 and rng.random() < config.cross_shard:
@@ -220,8 +246,17 @@ def open_loop_scripts(
             obj = home
             if second is not None and i >= (config.ops_per_txn + 1) // 2:
                 obj = second
-            steps.append((obj, rng.choice(alphabet)))
-        out.append((_script("T%d" % t, steps), arrival))
+            pool = observers if readonly else alphabet
+            steps.append((obj, rng.choice(pool)))
+        # ``ro_mode == "locked"`` is the baseline: the *same* observer
+        # scripts (identical rng draws) run through the ordinary locked
+        # read path instead of the multiversion snapshot path.
+        script = _script("T%d" % t, steps)
+        if readonly and config.ro_mode == "snapshot":
+            script = TransactionScript(
+                name=script.name, steps=script.steps, read_only=True
+            )
+        out.append((script, arrival))
     return out
 
 
@@ -265,14 +300,14 @@ class DriveReport:
 
     def latency_summary(self) -> Dict[str, float]:
         lat = self.latencies
-        return {
+        summary: Dict[str, float] = {
             "n": len(lat),
             "mean": (sum(lat) / len(lat)) if lat else 0.0,
-            "p50": self.percentile(0.50),
-            "p95": self.percentile(0.95),
-            "p99": self.percentile(0.99),
-            "max": lat[-1] if lat else 0,
         }
+        for q in PERCENTILES:
+            summary["p%d" % round(q * 100)] = self.percentile(q)
+        summary["max"] = lat[-1] if lat else 0
+        return summary
 
     def format(self) -> str:
         m = self.metrics
@@ -290,6 +325,11 @@ class DriveReport:
             "commit latency ticks : n=%d mean=%.1f p50=%d p95=%d p99=%d max=%d"
             % (lat["n"], lat["mean"], lat["p50"], lat["p95"], lat["p99"], lat["max"]),
         ]
+        if m.ro_committed or m.ro_aborts:
+            lines.append(
+                "read-only            : %d committed (%d snapshot reads), "
+                "%d aborted" % (m.ro_committed, m.ro_snapshot_reads, m.ro_aborts)
+            )
         for row in self.per_shard:
             lines.append(
                 "  shard %-2d           : %4d committed, %4d ops, %3d objects, "
@@ -311,7 +351,9 @@ class DriveReport:
 
 def _latencies_from_trace(events: Sequence[dict]) -> List[int]:
     return sorted(
-        int(e["latency"]) for e in events if e.get("kind") == "txn-commit"
+        int(e["latency"])
+        for e in events
+        if e.get("kind") in ("txn-commit", "ro-commit")
     )
 
 
@@ -612,6 +654,9 @@ _ADDITIVE_FIELDS = (
     "force_requests",
     "forced_records",
     "commit_stall_ticks",
+    "ro_committed",
+    "ro_snapshot_reads",
+    "ro_aborts",
 )
 
 

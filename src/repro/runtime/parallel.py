@@ -518,6 +518,8 @@ def _execute_compare(cell: Cell, trace: Optional[TraceCollector]) -> Any:
         transactions=int(spec.get("transactions", 8)),
         ops_per_txn=int(spec.get("ops", 3)),
         opening=int(spec.get("opening", 100)),
+        read_mix=float(spec.get("read_mix", 0.0)),
+        ro_mode=str(spec.get("ro_mode", "snapshot")),
     )
     runs = run_configuration(
         config,

@@ -73,6 +73,17 @@ class RecoveryManager(ABC):
     def on_abort(self, txn: str) -> None:
         """Erase the transaction's effects."""
 
+    @abstractmethod
+    def executed_of(self, txn: str) -> Tuple[Operation, ...]:
+        """The operations the transaction has executed here, in order.
+
+        Read *before* :meth:`on_commit` (which discards per-transaction
+        state): the multiversion store applies exactly these operations
+        to the committed macro-state at commit, so version chains stay
+        in commit order — the serialization order dynamic atomicity
+        guarantees.
+        """
+
     # -- conveniences ---------------------------------------------------------
 
     def enabled_responses(self, txn: str, invocation: Invocation) -> FrozenSet:
@@ -124,6 +135,9 @@ class UpdateInPlaceManager(RecoveryManager):
         # The current state already reflects the transaction; just drop
         # the undo information.
         self._undo_stacks.pop(txn, None)
+
+    def executed_of(self, txn: str) -> Tuple[Operation, ...]:
+        return tuple(self._undo_stacks.get(txn, ()))
 
     def on_abort(self, txn: str) -> None:
         ops = self._undo_stacks.pop(txn, [])
@@ -179,6 +193,9 @@ class DeferredUpdateManager(RecoveryManager):
     def intentions_of(self, txn: str) -> Tuple[Operation, ...]:
         return tuple(self._intentions.get(txn, ()))
 
+    def executed_of(self, txn: str) -> Tuple[Operation, ...]:
+        return self.intentions_of(txn)
+
     def on_execute(self, txn: str, operation: Operation) -> None:
         before = self.macro(txn)  # the private view before this operation
         self._intentions.setdefault(txn, []).append(operation)
@@ -220,6 +237,7 @@ class ViewRecoveryManager(RecoveryManager):
 
         self._builder = HistoryBuilder()
         self._counter = 0
+        self._executed: Dict[str, List[Operation]] = {}
 
     def macro(self, txn: str) -> MacroState:
         history = self._builder.snapshot()
@@ -235,16 +253,22 @@ class ViewRecoveryManager(RecoveryManager):
         self._builder.append(
             respond_event(operation.response, self.adt.name, txn)
         )
+        self._executed.setdefault(txn, []).append(operation)
 
     def on_commit(self, txn: str) -> None:
         from ..core.events import commit as commit_event
 
         self._builder.append(commit_event(self.adt.name, txn))
+        self._executed.pop(txn, None)
 
     def on_abort(self, txn: str) -> None:
         from ..core.events import abort as abort_event
 
         self._builder.append(abort_event(self.adt.name, txn))
+        self._executed.pop(txn, None)
+
+    def executed_of(self, txn: str) -> Tuple[Operation, ...]:
+        return tuple(self._executed.get(txn, ()))
 
 
 def make_recovery_manager(

@@ -12,7 +12,10 @@ Drives a set of straight-line transaction scripts against a
   allow a transaction to continue after aborting), up to a restart
   budget;
 * a script whose operations have all executed commits via the system's
-  two-phase protocol.
+  two-phase protocol;
+* a script marked ``read_only`` bypasses all of the above: its steps are
+  lock-free snapshot reads against the multiversion store, it can never
+  block or deadlock, and its completion needs no two-phase commit.
 
 The scheduler is the measurement instrument for the EXP-C* experiments:
 it never inspects the conflict relation or recovery method itself, so
@@ -35,10 +38,18 @@ from .system import TransactionSystem
 
 @dataclass(frozen=True)
 class TransactionScript:
-    """A straight-line transaction: a name and its (object, invocation) steps."""
+    """A straight-line transaction: a name and its (object, invocation) steps.
+
+    ``read_only`` routes the script down the multiversion snapshot path:
+    every step resolves against the committed version chains
+    (:meth:`~repro.runtime.system.TransactionSystem.snapshot_read`)
+    instead of the locking protocol, so the steps must be observer
+    invocations (see :meth:`~repro.adts.base.ADT.readonly_invocations`).
+    """
 
     name: str
     steps: Tuple[Tuple[str, Invocation], ...]
+    read_only: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "steps", tuple(self.steps))
@@ -186,10 +197,23 @@ class Scheduler:
         tick = tick if tick is not None else self.metrics.ticks
         for entry in self._live:
             if entry.txn in victims:
-                self.metrics.aborted += 1
-                self.metrics.crash_aborts += 1
-                if self.trace is not None:
-                    self.trace.emit("txn-abort", txn=entry.txn, reason="crash")
+                if entry.script.read_only:
+                    # A crash killed this reader's snapshot (its system
+                    # died, or a shard it had read from did).  No locks
+                    # or undo work existed; account it as a read-only
+                    # abort, not an update-path crash abort.
+                    self.metrics.ro_aborts += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "ro-abort", txn=entry.txn, reason="crash"
+                        )
+                else:
+                    self.metrics.aborted += 1
+                    self.metrics.crash_aborts += 1
+                    if self.trace is not None:
+                        self.trace.emit(
+                            "txn-abort", txn=entry.txn, reason="crash"
+                        )
                 entry.restarts += 1
                 if entry.restarts <= self.max_restarts:
                     self.metrics.restarts += 1
@@ -242,6 +266,9 @@ class Scheduler:
                 if entry.wait_for:
                     continue
             if entry.backoff_until > tick:
+                continue
+            if entry.script.read_only:
+                progressed = self._tick_readonly(entry, tick) or progressed
                 continue
             if entry.done:
                 if self.system.commit(entry.txn):
@@ -306,6 +333,37 @@ class Scheduler:
                 progressed = True
         return progressed
 
+    def _tick_readonly(self, entry: _LiveTxn, tick: int) -> bool:
+        """One step of a read-only snapshot transaction.
+
+        Snapshot reads never block and take no locks, so a runnable
+        read-only entry always progresses: a read resolves against its
+        snapshot, completion commits instantly (nothing to prepare or
+        force), and a poisoned snapshot (negative-control relations
+        only) aborts and restarts on the spot.
+        """
+        if entry.done:
+            self.system.finish_readonly(entry.txn)
+            self.metrics.ro_committed += 1
+            self._waits.remove_transaction(entry.txn)
+            if self.trace is not None:
+                self.trace.emit(
+                    "ro-commit",
+                    txn=entry.txn,
+                    script=entry.script.name,
+                    born=entry.born_tick,
+                    latency=tick - entry.born_tick,
+                )
+            return True
+        obj_name, invocation = entry.script.steps[entry.step]
+        outcome = self.system.snapshot_read(entry.txn, obj_name, invocation)
+        if outcome.ok:
+            entry.step += 1
+            self.metrics.ro_snapshot_reads += 1
+            return True
+        self._abort_and_restart(entry, tick, reason="stuck")
+        return True
+
     def _break_deadlock(self, tick: int, live: List[_LiveTxn]) -> None:
         """No transaction progressed: abort a waits-for cycle victim."""
         cycle = self._waits.find_cycle()
@@ -327,7 +385,10 @@ class Scheduler:
             blocked = [
                 t
                 for t in live
-                if not t.done and not t.wait_for and t.backoff_until <= tick
+                if not t.done
+                and not t.wait_for
+                and not t.script.read_only  # snapshot readers never block
+                and t.backoff_until <= tick
             ]
             if not blocked:
                 return
@@ -371,10 +432,19 @@ class Scheduler:
             self.system.abort(entry.txn)
         except InvalidTransactionState:
             pass  # never touched any object: nothing to abort
-        self.metrics.aborted += 1
+        if entry.script.read_only:
+            # Read-only deaths are accounted separately: they hold no
+            # locks, appear in no object history, and never roll back
+            # updates, so folding them into ``aborted`` would distort
+            # the update-path contention metrics.
+            self.metrics.ro_aborts += 1
+            if self.trace is not None:
+                self.trace.emit("ro-abort", txn=entry.txn, reason=reason)
+        else:
+            self.metrics.aborted += 1
+            if self.trace is not None:
+                self.trace.emit("txn-abort", txn=entry.txn, reason=reason)
         self._waits.remove_transaction(entry.txn)
-        if self.trace is not None:
-            self.trace.emit("txn-abort", txn=entry.txn, reason=reason)
         entry.restarts += 1
         if entry.restarts <= self.max_restarts:
             self.metrics.restarts += 1

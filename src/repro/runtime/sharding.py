@@ -182,7 +182,11 @@ class ShardedSystem(CrashableSystem):
            everywhere: crashed objects just record the abort event (no
            undo is possible), healthy objects perform a clean volatile
            abort.
-        4. the shard's objects lose volatile state and restart from
+        4. read-only snapshot transactions that read from the shard are
+           killed (their snapshot registration is volatile); readers
+           confined to healthy shards continue — version chains are
+           never retracted, so their snapshots remain valid;
+        5. the shard's objects lose volatile state and restart from
            their stable logs.
 
         Transactions that never touched the shard are untouched: their
@@ -213,6 +217,21 @@ class ShardedSystem(CrashableSystem):
             if txn not in self._finished and touched & names
         ]
         victims: Set[str] = set()
+        # Read-only snapshot transactions die only if they actually read
+        # from the crashed shard (their registration lives with the
+        # system, but the observation is attributed to the shard that
+        # served it).  Readers confined to healthy shards keep going:
+        # version chains are never retracted, so their snapshot stays
+        # valid even while the crashed shard recovers.
+        ro_victims = [
+            txn
+            for txn, observed in self._ro_touched.items()
+            if txn in self._ro_active and observed & names
+        ]
+        for txn in sorted(ro_victims):
+            del self._ro_active[txn]
+            self._finished[txn] = "aborted"
+            victims.add(txn)
         resolved: List[str] = []
         for txn in sorted(candidates):
             touched = sorted(self._touched[txn])
@@ -228,6 +247,9 @@ class ShardedSystem(CrashableSystem):
                         self._complete_surviving_commit(name, txn)
                 self._finished[txn] = "committed"
                 resolved.append(txn)
+                # Durable everywhere it touched: stamp the version under
+                # a fresh CSN, as the normal completion would have.
+                self._install_versions(txn, touched)
             else:
                 for name in touched:
                     if name in names:

@@ -24,6 +24,7 @@ event) matches the model's well-formedness constraints.
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, List, Optional, Sequence, Set, Tuple
 
@@ -41,7 +42,7 @@ from ..core.events import (
 from ..core.history import History
 from .errors import InvalidTransactionState, UnknownObjectError
 from .lock_manager import LockManager
-from .recovery import RecoveryManager, make_recovery_manager
+from .recovery import MacroState, RecoveryManager, make_recovery_manager
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,16 @@ class ManagedObject:
         self._response_chooser = response_chooser
         self._pending: Dict[str, Invocation] = {}
         self._events: List[Event] = []
+        #: multiversion committed store.  ``_committed_macro`` tracks the
+        #: committed macro-state in commit order (advanced at each commit
+        #: from the recovery manager's executed operations); the parallel
+        #: version-chain lists record it at each global commit sequence
+        #: number, so lock-free snapshot reads can resolve any CSN at or
+        #: above the prune watermark.  Entry 0 is the initial state.
+        self._committed_macro: MacroState = self.adt.initial_macro_state()
+        self._version_csns: List[int] = [0]
+        self._version_txns: List[Optional[str]] = [None]
+        self._version_macros: List[MacroState] = [self._committed_macro]
         #: optional :class:`~repro.runtime.trace.TraceCollector`; set by
         #: ``TraceCollector.bind_system``.  Guarded at every emit site so
         #: the untraced path pays one ``is None`` test.
@@ -221,6 +232,9 @@ class ManagedObject:
         this; the volatile base object has none)."""
 
     def commit(self, txn: str) -> None:
+        # Advance the committed macro-state *before* the recovery manager
+        # discards the transaction's executed-operation record.
+        self._advance_committed(txn)
         self.locks.release_all(txn)
         self.recovery.on_commit(txn)
         self._events.append(commit_event(self.name, txn))
@@ -230,6 +244,95 @@ class ManagedObject:
         self.locks.release_all(txn)
         self.recovery.on_abort(txn)
         self._events.append(abort_event(self.name, txn))
+
+    # -- multiversion committed store ---------------------------------------------
+
+    def _advance_committed(self, txn: str) -> None:
+        """Apply the transaction's executed operations to the committed
+        macro-state.  Committed transactions are applied whole, in commit
+        order — the serialization the dynamic-atomicity audits check —
+        so the resulting chain agrees with the deferred-update base state
+        and with the state a crash restart reconstructs from the log."""
+        for operation in self.recovery.executed_of(txn):
+            self._committed_macro = self.adt.step_macro(
+                self._committed_macro, operation
+            )
+
+    @property
+    def committed_tip(self) -> MacroState:
+        """The committed macro-state after every commit so far."""
+        return self._committed_macro
+
+    @property
+    def versions(self) -> Tuple[Tuple[int, Optional[str], MacroState], ...]:
+        """The version chain: ``(csn, committing txn, macro-state)``,
+        oldest first.  Entry ``(0, None, initial)`` anchors the chain
+        until pruned past."""
+        return tuple(
+            zip(self._version_csns, self._version_txns, self._version_macros)
+        )
+
+    def install_version(self, csn: int, txn: Optional[str] = None) -> None:
+        """Stamp the current committed macro-state with a global commit
+        sequence number.  Only ever called after the commit became
+        durable (a flushed commit record, or a commit record found
+        durable during crash recovery), so chains are never retracted:
+        a version, once installed, stays visible to snapshot readers."""
+        if csn < self._version_csns[-1]:
+            raise ValueError(
+                "version CSNs must be monotone at %s: got %d after %d"
+                % (self.name, csn, self._version_csns[-1])
+            )
+        if csn == self._version_csns[-1]:
+            self._version_txns[-1] = txn
+            self._version_macros[-1] = self._committed_macro
+            return
+        self._version_csns.append(csn)
+        self._version_txns.append(txn)
+        self._version_macros.append(self._committed_macro)
+
+    def version_at(self, csn: int) -> MacroState:
+        """The newest committed version at or below ``csn`` — the state a
+        snapshot reader with that start CSN observes.  No locks are
+        consulted; the chain only holds durably committed states."""
+        index = bisect_right(self._version_csns, csn) - 1
+        if index < 0:
+            raise InvalidTransactionState(
+                "snapshot at csn %d was pruned at %s (oldest retained: %d)"
+                % (csn, self.name, self._version_csns[0])
+            )
+        return self._version_macros[index]
+
+    def read_at(self, csn: int, invocation: Invocation) -> Optional[Operation]:
+        """Resolve a read-only invocation against the version at ``csn``.
+
+        Returns the completed operation with the same deterministic
+        tie-break as :meth:`try_operation` (smallest response by
+        ``repr``), or ``None`` when the snapshot enables no response."""
+        macro = self.version_at(csn)
+        responses = sorted(
+            {
+                response
+                for state in macro
+                for response, _nxt in self.adt.transitions(state, invocation)
+            },
+            key=repr,
+        )
+        if not responses:
+            return None
+        return self.adt.operation(invocation, responses[0])
+
+    def prune_versions(self, watermark: int) -> int:
+        """Drop versions no active snapshot reader can still need: every
+        entry older than the newest one at or below ``watermark`` (the
+        minimum start CSN over active read-only transactions).  Returns
+        the retained chain length."""
+        index = bisect_right(self._version_csns, watermark) - 1
+        if index > 0:
+            del self._version_csns[:index]
+            del self._version_txns[:index]
+            del self._version_macros[:index]
+        return len(self._version_csns)
 
 
 @dataclass
@@ -254,6 +357,20 @@ class TransactionSystem:
         self._finished: Dict[str, str] = {}  # txn -> "committed" | "aborted"
         self._committing: Dict[str, _PendingCommit] = {}
         self._events: List[Event] = []
+        #: global commit sequence number.  Bumped once per durably
+        #: completed commit and stamped across every touched object in
+        #: the same synchronous step, so a snapshot CSN cuts the commit
+        #: order consistently across all objects (and, under
+        #: :class:`~repro.runtime.sharding.ShardedSystem`, all shards).
+        self._csn = 0
+        #: active read-only transactions: txn -> snapshot CSN.  These
+        #: hold no locks and appear in no object history; their reads
+        #: resolve against the version chains only.
+        self._ro_active: Dict[str, int] = {}
+        #: snapshot CSN per read-only txn, kept after finish for audits.
+        self._ro_snapshots: Dict[str, int] = {}
+        self._ro_touched: Dict[str, Set[str]] = {}
+        self._ro_observations: Dict[str, List[Tuple[str, Operation]]] = {}
         #: optional trace collector (see :class:`ManagedObject.trace`).
         self.trace = None
         #: per-object count of events already mirrored into the global
@@ -362,9 +479,27 @@ class TransactionSystem:
             self._sync_events(name)
         del self._committing[txn]
         self._finished[txn] = "committed"
+        # The commit records are durable and every object acknowledged:
+        # stamp the new committed state across all touched objects under
+        # one CSN (this loop is synchronous, so no reader can observe a
+        # partially installed cross-shard version).
+        self._install_versions(txn, pending.touched)
         if self.trace is not None:
             self.trace.emit("2pc-complete", txn=txn)
         return True
+
+    def _install_versions(self, txn: str, names: Sequence[str]) -> int:
+        """Advance the global CSN and install the committed version at
+        every named object, pruning chains past the snapshot watermark
+        (the oldest active read-only start; with no active readers,
+        chains keep only the newest version)."""
+        self._csn += 1
+        watermark = min(self._ro_active.values(), default=self._csn)
+        for name in names:
+            obj = self.objects[name]
+            obj.install_version(self._csn, txn)
+            obj.prune_versions(watermark)
+        return self._csn
 
     def tick(self) -> None:
         """One scheduler tick: advance every object's durability timers
@@ -387,12 +522,93 @@ class TransactionSystem:
 
     def abort(self, txn: str) -> None:
         self._require_active(txn)
+        if txn in self._ro_active:
+            # Read-only transactions hold no locks and recorded no object
+            # events: dropping the snapshot registration is the whole abort.
+            del self._ro_active[txn]
+            self._finished[txn] = "aborted"
+            return
         self._committing.pop(txn, None)
         for name in sorted(self._touched.get(txn, ())):
             obj = self.object(name)
             obj.abort(txn)
             self._sync_events(name)
         self._finished[txn] = "aborted"
+
+    # -- read-only snapshot transactions ------------------------------------------
+    #
+    # A read-only transaction never enters the locking protocol: it takes
+    # a snapshot CSN at start and resolves every read against the version
+    # chains — committed, durable states only.  It serializes at its
+    # snapshot point (all writers with CSN <= snapshot before it, all
+    # later writers after), so it needs no entries in any LockManager and
+    # no NFC/NRBC consultation, and it can never block, deadlock, or be
+    # aborted by a writer.  Its reads are audited separately (snapshot
+    # consistency) rather than through the object histories.
+
+    def begin_readonly(self, txn: str) -> int:
+        """Start a read-only transaction; returns its snapshot CSN."""
+        self._require_active(txn)
+        if txn in self._touched:
+            raise InvalidTransactionState(
+                "transaction %s already executed update-path operations; "
+                "it cannot become read-only" % txn
+            )
+        csn = self._ro_active.get(txn)
+        if csn is None:
+            csn = self._csn
+            self._ro_active[txn] = csn
+            self._ro_snapshots[txn] = csn
+        return csn
+
+    def snapshot_read(
+        self, txn: str, obj_name: str, invocation: Invocation
+    ) -> OperationOutcome:
+        """One lock-free read against the transaction's snapshot.
+
+        Begins the transaction on first use.  Never returns ``blocked``;
+        ``stuck`` only when the snapshot enables no response (possible
+        under deliberately under-constrained negative-control relations,
+        where the committed state itself can be poisoned)."""
+        self._require_active(txn)
+        csn = self.begin_readonly(txn)
+        obj = self.object(obj_name)
+        operation = obj.read_at(csn, invocation)
+        if operation is None:
+            return OperationOutcome("stuck")
+        self._ro_touched.setdefault(txn, set()).add(obj_name)
+        self._ro_observations.setdefault(txn, []).append(
+            (obj_name, operation)
+        )
+        if self.trace is not None:
+            self.trace.emit(
+                "snapshot-read",
+                txn=txn,
+                obj=obj_name,
+                op=str(invocation),
+                csn=csn,
+            )
+        return OperationOutcome("ok", operation=operation)
+
+    def finish_readonly(self, txn: str) -> None:
+        """Commit a read-only transaction.  Nothing to make durable and
+        no locks to release — it leaves the active-snapshot set (raising
+        the prune watermark) and is recorded committed."""
+        self._require_active(txn)
+        self._ro_active.pop(txn, None)
+        self._finished[txn] = "committed"
+
+    def readonly_snapshot(self, txn: str) -> Optional[int]:
+        """The snapshot CSN a read-only txn started at (None if unknown)."""
+        return self._ro_snapshots.get(txn)
+
+    def readonly_observations(
+        self, txn: str
+    ) -> Tuple[Tuple[str, Operation], ...]:
+        """Every ``(object, operation)`` the read-only txn observed, in
+        order — kept after finish so audits can check snapshot
+        consistency against the version chains."""
+        return tuple(self._ro_observations.get(txn, ()))
 
     def _require_active(self, txn: str) -> None:
         if txn in self._finished:

@@ -51,6 +51,7 @@ from .workloads import (
     generic_workload,
     hotspot_banking,
     producer_consumer,
+    readonly_snapshot_workload,
     set_membership_workload,
 )
 
@@ -80,6 +81,11 @@ class TortureConfig:
     checkpoint_every: int = 0  # ticks between checkpoint attempts; 0 = never
     group_commit: int = 1  # force-request batch size (1 = classic per-commit force)
     hold: int = 0  # max ticks a short batch is held before flushing anyway
+    #: fraction of extra read-only snapshot readers riding along (0 =
+    #: none).  Readers interleave through the crash schedules on the
+    #: lock-free multiversion path; observer-less ADTs (queues) simply
+    #: get no readers, so mixed matrices stay runnable.
+    read_mix: float = 0.0
     bug: Optional[str] = None  # "skip-commit-force" enables the negative control
 
     def label(self) -> str:
@@ -90,6 +96,8 @@ class TortureConfig:
         )
         if self.group_commit > 1:
             base += "/gc%d" % self.group_commit
+        if self.read_mix > 0:
+            base += "/ro%g" % self.read_mix
         return base
 
 
@@ -127,28 +135,46 @@ def configs_for(
 
 def workload_for(config: TortureConfig, adt, rng: random.Random):
     """Scripts for the config: the ADT's purpose-built generator when one
-    exists, the generic alphabet-sampling workload otherwise."""
+    exists, the generic alphabet-sampling workload otherwise.  With
+    ``read_mix > 0``, read-only snapshot readers ride along whenever the
+    ADT offers observer invocations."""
     kind = config.adt_kind
     name = adt.name
     txns, ops = config.transactions, config.ops_per_txn
     if kind == "bank":
-        return hotspot_banking(rng, obj=name, transactions=txns, ops_per_txn=ops)
-    if kind == "escrow":
-        return escrow_workload(rng, obj=name, transactions=txns, ops_per_txn=ops)
-    if kind in ("fifo", "semiqueue"):
+        scripts = hotspot_banking(
+            rng, obj=name, transactions=txns, ops_per_txn=ops
+        )
+    elif kind == "escrow":
+        scripts = escrow_workload(
+            rng, obj=name, transactions=txns, ops_per_txn=ops
+        )
+    elif kind in ("fifo", "semiqueue"):
         producers = max(1, txns // 2)
-        return producer_consumer(
+        scripts = producer_consumer(
             rng,
             obj=name,
             producers=producers,
             consumers=max(1, txns - producers),
             ops_per_txn=ops,
         )
-    if kind == "set":
-        return set_membership_workload(
+    elif kind == "set":
+        scripts = set_membership_workload(
             rng, obj=name, transactions=txns, ops_per_txn=ops
         )
-    return generic_workload(adt, rng, obj=name, transactions=txns, ops_per_txn=ops)
+    else:
+        scripts = generic_workload(
+            adt, rng, obj=name, transactions=txns, ops_per_txn=ops
+        )
+    if config.read_mix > 0 and adt.readonly_invocations():
+        scripts = scripts + readonly_snapshot_workload(
+            adt,
+            rng,
+            objs=[name],
+            readers=max(1, round(config.read_mix * txns)),
+            reads_per_txn=ops,
+        )
+    return scripts
 
 
 def build_system(

@@ -36,10 +36,15 @@ when they do).
 from __future__ import annotations
 
 import json
+import math
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Bumped when event kinds or required fields are added.
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+
+#: The latency percentiles every report emits (``trace-report`` and the
+#: open-loop driver share this constant so trend-gate fields line up).
+PERCENTILES = (0.50, 0.95, 0.99)
 
 #: kind -> required fields beyond ``tick`` and ``kind``.  See the module
 #: docstring for stability guarantees; docs/API.md documents semantics.
@@ -79,6 +84,12 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     # open-loop driver (schema v2)
     "drive-start": ("label", "shards", "arrival_rate"),
     "drive-end": ("label", "committed", "p50", "p95", "p99"),
+    # multiversion read path (schema v3): read-only transactions read
+    # committed versions without locks; they never appear in op-ok /
+    # txn-commit streams, so they get their own kinds.
+    "snapshot-read": ("txn", "obj", "op"),
+    "ro-commit": ("txn", "script", "born", "latency"),
+    "ro-abort": ("txn", "reason"),
 }
 
 #: ``txn-abort`` reasons with a defined meaning.
@@ -203,6 +214,9 @@ COUNTER_FIELDS = (
     "forces",
     "force_requests",
     "forced_records",
+    "ro_committed",
+    "ro_snapshot_reads",
+    "ro_aborts",
 )
 
 
@@ -252,6 +266,12 @@ def reconstruct_counters(events: Sequence[Dict[str, Any]]) -> Dict[str, int]:
             counters["forced_records"] += int(event.get("records", 0))
         elif kind == "force-request":
             counters["force_requests"] += 1
+        elif kind == "ro-commit":
+            counters["ro_committed"] += 1
+        elif kind == "snapshot-read":
+            counters["ro_snapshot_reads"] += 1
+        elif kind == "ro-abort":
+            counters["ro_aborts"] += 1
     return counters
 
 
@@ -408,9 +428,15 @@ def contention_profile(
 
 
 def _percentile(sorted_values: Sequence[int], q: float) -> int:
-    if not sorted_values:
+    """Nearest-rank percentile: the smallest value with at least
+    ``q * n`` of the sample at or below it (rank ``ceil(q*n)``, so the
+    0-based index is ``ceil(q*n) - 1``).  ``int(q*n)`` would over-index
+    by one rank whenever ``q*n`` lands exactly on an integer — p50 of
+    10 sorted values must be the 5th, not the 6th."""
+    n = len(sorted_values)
+    if not n:
         return 0
-    index = min(len(sorted_values) - 1, int(q * len(sorted_values)))
+    index = min(n - 1, max(0, math.ceil(q * n) - 1))
     return sorted_values[index]
 
 
@@ -467,14 +493,16 @@ def format_trace_report(events: Sequence[Dict[str, Any]]) -> str:
     if rows:
         latencies = sorted(r["latency"] for r in rows)
         stalls = sum(r["stall_ticks"] for r in rows)
+        p50, p95, p99 = (_percentile(latencies, q) for q in PERCENTILES)
         lines.append(
             "commit latency (born -> committed ticks): n=%d mean=%.1f "
-            "p50=%d p90=%d max=%d  (stall ticks inside commits: %d)"
+            "p50=%d p95=%d p99=%d max=%d  (stall ticks inside commits: %d)"
             % (
                 len(latencies),
                 sum(latencies) / len(latencies),
-                _percentile(latencies, 0.50),
-                _percentile(latencies, 0.90),
+                p50,
+                p95,
+                p99,
                 latencies[-1],
                 stalls,
             )
@@ -483,6 +511,18 @@ def format_trace_report(events: Sequence[Dict[str, Any]]) -> str:
             lines.append(
                 "  %4d..%-4d %-40s %d" % (lo, hi, "#" * min(40, count), count)
             )
+
+    # read-only snapshot transactions (multiversion path)
+    if counters["ro_committed"] or counters["ro_aborts"]:
+        lines.append(
+            "read-only: %d committed (%d snapshot reads, no locks), "
+            "%d aborted"
+            % (
+                counters["ro_committed"],
+                counters["ro_snapshot_reads"],
+                counters["ro_aborts"],
+            )
+        )
 
     # contention attribution
     profile = contention_profile(events)

@@ -53,7 +53,7 @@ riding a shared flush.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Set, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..adts.base import ADT
 from ..core.events import Operation
@@ -370,6 +370,17 @@ class UndoRedoLog:
             for r in self.log.records()
         )
 
+    def commit_lsn(self, txn: str) -> Optional[int]:
+        """The LSN of the transaction's durable commit record (None if
+        absent).  The multiversion store's visibility rule anchors here:
+        a version is installed only once this record exists on stable
+        storage, so the snapshot-visibility audits cross-check every
+        installed version against it."""
+        for record in reversed(self.log.records()):
+            if isinstance(record, CommitRecord) and record.txn == txn:
+                return record.lsn
+        return None
+
     def recovery_commit(self, txn: str) -> None:
         """Complete a commit whose commit point was reached elsewhere."""
         self.log.recovery_append(lambda lsn: CommitRecord(lsn, txn=txn))
@@ -527,6 +538,18 @@ class RedoOnlyLog:
             isinstance(r, (CommitRecord, IntentionsRecord)) and r.txn == txn
             for r in self.log.records()
         )
+
+    def commit_lsn(self, txn: str) -> Optional[int]:
+        """The LSN of the transaction's durable commit-point record —
+        either commit shape — or None.  See
+        :meth:`UndoRedoLog.commit_lsn` for the visibility-rule role."""
+        for record in reversed(self.log.records()):
+            if (
+                isinstance(record, (CommitRecord, IntentionsRecord))
+                and record.txn == txn
+            ):
+                return record.lsn
+        return None
 
     def recovery_commit(self, txn: str) -> None:
         """Seal a durable prepare whose commit point was reached elsewhere."""

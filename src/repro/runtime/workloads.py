@@ -17,7 +17,11 @@ transaction scripts for the EXP-C* experiments:
   a shared set over a small element universe;
 * :func:`mixed_transfers` — multi-object transactions moving value
   between several accounts (exercises two-phase commit and cross-object
-  deadlocks).
+  deadlocks);
+* :func:`readonly_snapshot_workload` — read-only reader scripts over an
+  ADT's observer invocations, either on the lock-free multiversion
+  snapshot path or as identically-drawn locked transactions (the
+  EXP-C16 baseline).
 
 All generators take an explicit ``random.Random`` so experiments are
 reproducible seed-for-seed.
@@ -149,6 +153,47 @@ def generic_workload(
     for t in range(transactions):
         steps = [(obj, rng.choice(alphabet)) for _ in range(ops_per_txn)]
         scripts.append(_script("T%d" % t, steps))
+    return scripts
+
+
+def readonly_snapshot_workload(
+    adt,
+    rng: random.Random,
+    *,
+    objs: Sequence[str] = None,
+    readers: int = 4,
+    reads_per_txn: int = 3,
+    prefix: str = "RO",
+    snapshot: bool = True,
+) -> List[TransactionScript]:
+    """Read-only reader scripts over the ADT's observer invocations.
+
+    With ``snapshot=True`` (default) the scripts are marked
+    ``read_only`` and run on the lock-free multiversion path.  With
+    ``snapshot=False`` the *identical* step sequences (same rng draws)
+    run as ordinary locked transactions — the EXP-C16 baseline, making
+    snapshot-vs-locked comparisons draw-for-draw fair.
+    """
+    objs = list(objs) if objs is not None else [adt.name]
+    observers = list(adt.readonly_invocations())
+    if not observers:
+        raise ValueError(
+            "adt %r has no read-only observer invocations; queues and "
+            "stacks consume on read and cannot run read-only" % adt.name
+        )
+    scripts = []
+    for r in range(readers):
+        steps = [
+            (rng.choice(objs), rng.choice(observers))
+            for _ in range(reads_per_txn)
+        ]
+        scripts.append(
+            TransactionScript(
+                name="%s%d" % (prefix, r),
+                steps=tuple(steps),
+                read_only=snapshot,
+            )
+        )
     return scripts
 
 

@@ -34,9 +34,20 @@ def test_config_validates_knobs():
         dict(burst_factor=0.5),
         dict(zipf_s=-1.0),
         dict(cross_shard=1.5),
+        dict(read_mix=-0.1),
+        dict(read_mix=1.5),
+        dict(ro_mode="martian"),
     ):
         with pytest.raises(ValueError):
             OpenLoopConfig(**bad)
+
+
+def test_label_carries_read_mix_and_baseline_mode():
+    assert "/ro" not in OpenLoopConfig().label()
+    assert OpenLoopConfig(read_mix=0.3).label().endswith("/ro0.3")
+    assert OpenLoopConfig(read_mix=0.3, ro_mode="locked").label().endswith(
+        "/ro0.3-locked"
+    )
 
 
 def test_object_names_are_stable_and_distinct():
@@ -57,6 +68,28 @@ def test_zipf_weights_normalize_and_rank():
     assert weights == sorted(weights, reverse=True)
     # s=0 degenerates to uniform
     assert all(math.isclose(w, 0.1) for w in zipf_weights(10, 0.0))
+
+
+def test_zipf_chooser_rejects_empty_rank_space():
+    # Regression: n=0 used to die with an IndexError inside bisect.
+    with pytest.raises(ValueError, match="at least one rank"):
+        ZipfChooser(0, 1.1)
+    with pytest.raises(ValueError, match="at least one rank"):
+        ZipfChooser(-3, 1.0)
+
+
+def test_zipf_chooser_degenerate_single_rank():
+    chooser = ZipfChooser(1, 1.1)
+    rng = random.Random(0)
+    assert all(chooser.pick(rng) == 0 for _ in range(50))
+
+
+def test_zipf_chooser_s_zero_is_uniform():
+    chooser = ZipfChooser(4, 0.0)
+    rng = random.Random(0)
+    picks = [chooser.pick(rng) for _ in range(4000)]
+    counts = [picks.count(k) for k in range(4)]
+    assert all(800 < c < 1200 for c in counts)
 
 
 def test_zipf_chooser_is_skewed_and_deterministic():
@@ -214,3 +247,101 @@ def test_partitioned_drive_rejects_cross_shard_and_shared_trace():
             workers=2,
             trace=TraceCollector(),
         )
+
+
+# ---------------------------------------------------------------------------
+# read-only mix
+# ---------------------------------------------------------------------------
+
+
+def test_read_mix_marks_scripts_read_only_with_observer_steps():
+    config = OpenLoopConfig(
+        adt_kind="counter", objects=8, transactions=60, read_mix=0.5
+    )
+    scripts = open_loop_scripts(config, random.Random(3))
+    readonly = [s for s, _ in scripts if s.read_only]
+    assert 10 < len(readonly) < 50  # ~half, seeded draw
+    for script in readonly:
+        for _obj, invocation in script.steps:
+            assert invocation.name == "read"
+
+
+def test_locked_baseline_draws_identical_scripts():
+    snap = OpenLoopConfig(
+        adt_kind="counter", objects=8, transactions=40, read_mix=0.4
+    )
+    locked = OpenLoopConfig(
+        adt_kind="counter",
+        objects=8,
+        transactions=40,
+        read_mix=0.4,
+        ro_mode="locked",
+    )
+    a = open_loop_scripts(snap, random.Random(7))
+    b = open_loop_scripts(locked, random.Random(7))
+    assert [(s.name, s.steps, t) for s, t in a] == [
+        (s.name, s.steps, t) for s, t in b
+    ]
+    assert any(s.read_only for s, _ in a)
+    assert not any(s.read_only for s, _ in b)
+
+
+def test_read_mix_rejected_for_observerless_adts():
+    config = OpenLoopConfig(adt_kind="fifo", objects=4, read_mix=0.5)
+    with pytest.raises(ValueError, match="no read-only observer"):
+        open_loop_scripts(config, random.Random(0))
+
+
+def test_drive_with_read_mix_counts_ro_commits_in_latencies():
+    config = OpenLoopConfig(
+        adt_kind="counter", objects=8, transactions=30, read_mix=0.4
+    )
+    report = drive(config, seed=4)
+    m = report.metrics
+    assert m.ro_committed > 0
+    assert m.ro_snapshot_reads > 0
+    assert m.committed + m.ro_committed == 30
+    # Read-only commits show up in the latency population too.
+    assert len(report.latencies) == 30
+    assert "read-only" in report.format()
+
+
+# ---------------------------------------------------------------------------
+# latency percentiles (nearest-rank pins)
+# ---------------------------------------------------------------------------
+
+
+def _report_with(latencies):
+    from repro.runtime.metrics import RunMetrics
+
+    return DriveReport(
+        label="pin",
+        shards=1,
+        workers=1,
+        offered=len(latencies),
+        metrics=RunMetrics(),
+        wall_s=1.0,
+        latencies=sorted(latencies),
+    )
+
+
+def test_latency_summary_pins_nearest_rank_percentiles():
+    # 100 distinct values: the nearest-rank p-th percentile is exactly
+    # the p-th smallest value — the off-by-one regression pinned down.
+    report = _report_with(list(range(1, 101)))
+    summary = report.latency_summary()
+    assert summary["p50"] == 50
+    assert summary["p95"] == 95
+    assert summary["p99"] == 99
+    assert summary["max"] == 100
+
+
+def test_latency_summary_small_populations():
+    assert _report_with([7]).latency_summary() == {
+        "n": 1, "mean": 7.0, "p50": 7, "p95": 7, "p99": 7, "max": 7,
+    }
+    summary = _report_with([10, 20, 30, 40]).latency_summary()
+    assert summary["p50"] == 20  # rank ceil(0.5 * 4) = 2
+    assert summary["p95"] == 40
+    empty = _report_with([]).latency_summary()
+    assert empty["p50"] == 0 and empty["max"] == 0

@@ -286,3 +286,30 @@ class TestDerivedReports:
     def test_reconstruct_counters_empty_stream(self):
         counters = reconstruct_counters([])
         assert all(v == 0 for v in counters.values())
+
+
+class TestPercentiles:
+    """Nearest-rank percentile pins (the ceil(q*n)-1 off-by-one fix)."""
+
+    def test_shared_percentile_constant(self):
+        from repro.runtime.trace import PERCENTILES
+
+        assert PERCENTILES == (0.50, 0.95, 0.99)
+
+    def test_nearest_rank_pins(self):
+        from repro.runtime.trace import _percentile
+
+        data = list(range(1, 101))
+        assert _percentile(data, 0.50) == 50
+        assert _percentile(data, 0.95) == 95
+        assert _percentile(data, 0.99) == 99
+        # Small populations: rank ceil(q*n), 1-indexed.
+        assert _percentile([10, 20, 30, 40], 0.50) == 20
+        assert _percentile([10, 20, 30, 40], 0.95) == 40
+        assert _percentile([7], 0.99) == 7
+        assert _percentile([], 0.50) == 0
+
+    def test_report_prints_all_three_percentiles(self):
+        _, trace = build_traced_run("hotspot", 0)
+        text = format_trace_report(trace.events)
+        assert "p50" in text and "p95" in text and "p99" in text

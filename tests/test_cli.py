@@ -126,6 +126,30 @@ class TestCompareCommand:
         with pytest.raises(SystemExit, match="--opening must be >= 0"):
             main(["compare", "hotspot", "--opening", "-5"])
 
+    def test_read_mix_adds_ro_columns(self, capsys):
+        assert (
+            main(
+                [
+                    "compare", "hotspot",
+                    "--seeds", "2",
+                    "--transactions", "4",
+                    "--ops", "2",
+                    "--read-mix", "0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "ro-commit" in out and "ro-reads" in out
+
+    def test_read_mix_rejects_out_of_range(self):
+        with pytest.raises(SystemExit, match="--read-mix must be in"):
+            main(["compare", "hotspot", "--read-mix", "2.0"])
+
+    def test_read_mix_rejects_observerless_workloads(self):
+        with pytest.raises(SystemExit, match="no read-only observer"):
+            main(["compare", "fifo", "--read-mix", "0.5", "--seeds", "1"])
+
 
 class TestRunCommand:
     def test_run_prints_metrics(self, capsys):
@@ -217,6 +241,53 @@ class TestTraceReportCommand:
         assert main(["trace-report", path, "--strict"]) == 0
         out = capsys.readouterr().out
         assert "reconcile" in out and "MISMATCH" not in out
+
+    def test_torture_read_mix_labels_and_passes(self, capsys):
+        assert (
+            main(
+                [
+                    "torture",
+                    "--adt",
+                    "bank",
+                    "--recovery",
+                    "du",
+                    "--schedules",
+                    "4",
+                    "--read-mix",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bank/DU/ro0.5" in out
+        assert "all invariants held" in out
+
+    def test_torture_read_mix_rejects_out_of_range(self):
+        with pytest.raises(SystemExit, match="--read-mix must be in"):
+            main(["torture", "--adt", "bank", "--read-mix", "1.5"])
+
+    def test_torture_read_mix_skips_observerless_adts(self, capsys):
+        # fifo has no read-only observer invocations; the torture matrix
+        # just runs it without readers instead of rejecting the flag.
+        assert (
+            main(
+                [
+                    "torture",
+                    "--adt",
+                    "fifo",
+                    "--recovery",
+                    "du",
+                    "--schedules",
+                    "2",
+                    "--read-mix",
+                    "0.5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fifo/DU/ro0.5" in out
 
     def test_rejects_malformed_trace(self, tmp_path):
         path = tmp_path / "bad.jsonl"

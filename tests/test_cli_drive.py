@@ -44,6 +44,12 @@ class TestValidation:
                 ["drive", "--workers", "2", "--trace-out", "x.jsonl"],
                 "--trace-out requires --workers 1",
             ),
+            (["drive", "--read-mix", "1.5"], "--read-mix must be in"),
+            (["drive", "--read-mix", "-0.2"], "--read-mix must be in"),
+            (
+                ["drive", "--adt", "fifo", "--read-mix", "0.5"],
+                "no read-only observer",
+            ),
         ],
     )
     def test_rejects_bad_arguments(self, argv, match):
@@ -97,6 +103,35 @@ class TestDrive:
         # the trace reconciles through the standard reporter
         assert main(["trace-report", str(path)]) == 0
         assert "drive" in _out(capsys)
+
+    def test_read_mix_reports_ro_line_and_reconciles(self, tmp_path, capsys):
+        path = tmp_path / "ro.jsonl"
+        args = SMALL + [
+            "--adt", "counter",
+            "--read-mix", "0.4",
+            "--trace-out", str(path),
+        ]
+        assert main(args) == 0
+        out = _out(capsys)
+        assert "/ro0.4" in out
+        assert "read-only" in out
+        kinds = {
+            json.loads(line)["kind"]
+            for line in path.read_text().strip().splitlines()
+        }
+        assert "snapshot-read" in kinds and "ro-commit" in kinds
+        # RO counters reconcile under the strict reporter.
+        assert main(["trace-report", str(path), "--strict"]) == 0
+        assert "read-only" in _out(capsys)
+
+    def test_locked_baseline_label(self, capsys):
+        args = SMALL + [
+            "--adt", "counter",
+            "--read-mix", "0.4",
+            "--ro-mode", "locked",
+        ]
+        assert main(args) == 0
+        assert "/ro0.4-locked" in _out(capsys)
 
     def test_partitioned_drive_matches_serial(self, capsys):
         args = SMALL + ["--shards", "2"]
