@@ -1,0 +1,129 @@
+"""Docs CLI gate: every fenced ``repro ...`` invocation must parse.
+
+Usage::
+
+    python scripts/check_docs_cli.py [FILE ...]
+
+With no arguments, checks ``README.md`` and every ``docs/*.md`` in the
+repository.  The script walks fenced code blocks, joins backslash
+continuations, extracts each ``repro ...`` / ``python -m repro ...``
+command (including ones embedded in shell plumbing like ``diff <(...)``),
+and feeds its arguments to the real argparse parser.  A command that no
+longer parses — a renamed flag, a dropped subcommand, a typo'd example —
+fails the build, so the documentation cannot drift ahead of or behind
+the CLI.  This is ``--help``-level validation: flags and subcommands
+must exist and typed values must convert, but nothing executes and no
+files need to exist.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import shlex
+import sys
+from typing import Iterator, List, Tuple
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+COMMAND_RE = re.compile(r"(?:python -m |python3 -m )?repro\s")
+# a command stops at shell plumbing that follows it on the same line
+STOP_RE = re.compile(r"\s(?:\||>|>>|&&|;|2>)\s?")
+
+
+def fenced_blocks(text: str) -> Iterator[str]:
+    fence = None
+    lines: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if fence is None:
+            if stripped.startswith("```"):
+                fence = stripped
+                lines = []
+        elif stripped == "```":
+            fence = None
+            yield "\n".join(lines)
+        else:
+            lines.append(line)
+
+
+def join_continuations(block: str) -> List[str]:
+    joined: List[str] = []
+    for line in block.splitlines():
+        if joined and joined[-1].endswith("\\"):
+            joined[-1] = joined[-1][:-1].rstrip() + " " + line.strip()
+        else:
+            joined.append(line.rstrip())
+    return joined
+
+
+def extract_commands(path: pathlib.Path) -> Iterator[Tuple[str, str]]:
+    """Yield (display, argv-tail) pairs for every documented command."""
+    for block in fenced_blocks(path.read_text()):
+        for line in join_continuations(block):
+            for match in COMMAND_RE.finditer(line):
+                tail = line[match.end():]
+                stop = STOP_RE.search(tail)
+                if stop:
+                    tail = tail[: stop.start()]
+                # commands inside $(...) / <(...) substitutions end at
+                # the closing paren; trailing # comments are shell, not
+                # arguments
+                tail = tail.split(")", 1)[0]
+                tail = tail.split(" #", 1)[0].rstrip()
+                display = "repro " + tail
+                yield display, tail
+
+
+def check_file(path: pathlib.Path) -> Tuple[int, List[str]]:
+    parser = build_parser()
+    checked = 0
+    failures: List[str] = []
+    for display, tail in extract_commands(path):
+        checked += 1
+        try:
+            tokens = shlex.split(tail)
+        except ValueError as exc:
+            failures.append("%s: %s -- unparseable shell: %s"
+                            % (path.name, display, exc))
+            continue
+        try:
+            parser.parse_args(tokens)
+        except SystemExit as exc:
+            if exc.code not in (0, None):
+                failures.append(
+                    "%s: does not parse: %s" % (path.name, display)
+                )
+    return checked, failures
+
+
+def main(argv: List[str]) -> int:
+    if argv:
+        paths = [pathlib.Path(a) for a in argv]
+    else:
+        paths = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+    total = 0
+    failures: List[str] = []
+    for path in paths:
+        checked, fails = check_file(path)
+        total += checked
+        failures.extend(fails)
+        print("check_docs_cli: %s: %d command(s)" % (path.name, checked))
+    for failure in failures:
+        print("check_docs_cli FAIL: %s" % failure)
+    if total == 0:
+        print("check_docs_cli FAIL: no fenced repro commands found at all "
+              "(extractor broken?)")
+        return 1
+    print(
+        "check_docs_cli: %d command(s) across %d file(s), %d failure(s)"
+        % (total, len(paths), len(failures))
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -308,6 +308,43 @@ def _count_jsonl(path: str) -> int:
         return sum(1 for line in fp if line.strip())
 
 
+def _parse_site_crashes(specs, sites: int):
+    """``--site-crash`` rows as ``(site, fail_tick, recover_tick)``.
+
+    Accepts ``S@F`` (site S crashes at tick F and stays down) and
+    ``S@F-R`` (recovers at tick R); ``S@F-end`` is the explicit
+    spelling of "stays down", matching the torture schedule notation.
+    """
+    out = []
+    for spec in specs or ():
+        text = spec[4:] if spec.startswith("site") else spec
+        site_s, _, rest = text.partition("@")
+        fail_s, _, rec_s = rest.partition("-")
+        try:
+            site = int(site_s)
+            fail_tick = int(fail_s)
+            recover = 0 if rec_s in ("", "end") else int(rec_s)
+        except ValueError:
+            raise SystemExit(
+                "--site-crash must look like S@F (site S down from tick F "
+                "on) or S@F-R (recovering at tick R), got %r" % spec
+            )
+        if not 0 <= site < sites:
+            raise SystemExit(
+                "--site-crash site %d out of range 0..%d (see --sites)"
+                % (site, sites - 1)
+            )
+        if fail_tick < 1:
+            raise SystemExit("--site-crash fail tick must be >= 1")
+        if recover and recover <= fail_tick:
+            raise SystemExit(
+                "--site-crash recovery tick must be after the fail tick "
+                "(got %r)" % spec
+            )
+        out.append((site, fail_tick, recover))
+    return tuple(out)
+
+
 def cmd_run(args) -> int:
     """Run one workload on a durable (crash-capable) system and report
     run metrics including the group-commit force accounting."""
@@ -326,7 +363,16 @@ def cmd_run(args) -> int:
     _check_group_commit_args(args)
     _check_workload_args(args)
     _check_parallel_args(args)
+    _check_min(args, (("sites", 1),))
     seed = args.seed_base + args.seed
+    site_crashes = _parse_site_crashes(args.site_crash, args.sites)
+    if args.sites > 1 or site_crashes:
+        if args.workers > 1:
+            raise SystemExit(
+                "replicated runs keep every site's copies in lockstep "
+                "under one scheduler; use --workers 1"
+            )
+        return _cmd_run_replicated(args, seed, site_crashes)
     recovery = args.recovery.upper()
     config = TortureConfig(
         args.adt,
@@ -404,6 +450,88 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _cmd_run_replicated(args, seed: int, site_crashes) -> int:
+    """``repro run --sites N``: the same workload against a replicated
+    system, with ``--site-crash`` schedules fired from the tick clock."""
+    import random
+
+    from .runtime.scheduler import Scheduler
+    from .runtime.torture import (
+        TortureConfig,
+        build_replicated_torture_system,
+        workload_for,
+    )
+
+    config = TortureConfig(
+        args.adt,
+        args.recovery.upper(),
+        transactions=args.transactions,
+        ops_per_txn=args.ops,
+        group_commit=args.group_commit,
+        hold=args.hold,
+        sites=args.sites,
+    )
+    system, adt = build_replicated_torture_system(config)
+    scripts = workload_for(config, adt, random.Random(seed))
+    trace = None
+    if args.trace_out:
+        from .runtime.trace import TraceCollector
+
+        trace = TraceCollector()
+
+    def drive_sites(tick: int) -> bool:
+        progressed = False
+        for site, fail_tick, recover_tick in site_crashes:
+            if fail_tick == tick and system.site_up(site):
+                scheduler.handle_crash(system.fail_site(site), tick)
+                progressed = True
+            if (
+                recover_tick
+                and recover_tick == tick
+                and not system.site_up(site)
+            ):
+                system.recover_site(site)
+                progressed = True
+        return progressed
+
+    scheduler = Scheduler(
+        system,
+        scripts,
+        seed=seed,
+        label=config.label(),
+        trace=trace,
+        on_tick=drive_sites,
+    )
+    metrics = scheduler.run()
+    for site in range(args.sites):
+        if not system.site_up(site):
+            system.recover_site(site)
+    system.poll_catchup()
+    print("workload          : %s" % config.label())
+    print("group commit      : batch=%d hold=%d" % (args.group_commit, args.hold))
+    print("committed         : %d (aborted %d, deadlocks %d)"
+          % (metrics.committed, metrics.aborted, metrics.deadlocks))
+    print("ticks             : %d (throughput %.4f)"
+          % (metrics.ticks, metrics.throughput))
+    for row in system.force_accounting_by_site():
+        site = row["site"]
+        print(
+            "  site %-2d         : %d forces (%d requests), %d failures, "
+            "%d copies requalified"
+            % (
+                site,
+                row["forces"],
+                row["force_requests"],
+                system.site_failures[site],
+                system.requalifications[site],
+            )
+        )
+    if trace is not None:
+        count = trace.dump_jsonl(args.trace_out)
+        print("trace             : %d events -> %s" % (count, args.trace_out))
+    return 0
+
+
 def cmd_drive(args) -> int:
     """Drive the sharded runtime with open-loop traffic and report
     commit-latency percentiles plus per-shard traffic."""
@@ -443,6 +571,18 @@ def cmd_drive(args) -> int:
             "--trace-out requires --workers 1 (partitioned drives trace "
             "per worker shard)"
         )
+    _check_min(args, (("sites", 1),))
+    site_crashes = _parse_site_crashes(args.site_crash, args.sites)
+    if args.sites > 1 and args.shards != 1:
+        raise SystemExit(
+            "--sites replicates whole objects and --shards partitions "
+            "them; pick one axis (use --shards 1 with --sites)"
+        )
+    if (args.sites > 1 or site_crashes) and args.workers > 1:
+        raise SystemExit(
+            "replicated drives keep every site's copies in lockstep "
+            "under one scheduler; use --workers 1"
+        )
     config = OpenLoopConfig(
         adt_kind=args.adt,
         objects=args.objects,
@@ -460,6 +600,8 @@ def cmd_drive(args) -> int:
         recovery=args.recovery.upper(),
         group_commit=args.group_commit,
         hold=args.hold,
+        sites=args.sites,
+        site_crashes=site_crashes,
     )
     trace = None
     if args.trace_out:
@@ -505,6 +647,17 @@ def cmd_torture(args) -> int:
         raise SystemExit(
             "--read-mix must be in [0.0, 1.0] (got %g)" % args.read_mix
         )
+    _check_min(args, (("sites", 1),))
+    if args.inject_bug == "skip-catchup" and args.sites < 2:
+        raise SystemExit(
+            "--inject-bug skip-catchup plants a replication bug; it "
+            "needs --sites >= 2"
+        )
+    if args.sites > 1 and args.inject_bug == "skip-commit-force":
+        raise SystemExit(
+            "--inject-bug skip-commit-force is a log-fault control; "
+            "with --sites use skip-catchup"
+        )
     if args.adt == "all":
         adt_kinds = sorted(ADT_REGISTRY)
     else:
@@ -519,6 +672,8 @@ def cmd_torture(args) -> int:
     methods = {"both": ("DU", "UIP"), "du": ("DU",), "uip": ("UIP",)}[
         args.recovery
     ]
+    if args.sites > 1:
+        return _cmd_torture_sites(args, adt_kinds, methods)
     configs = configs_for(
         adt_kinds,
         methods,
@@ -552,6 +707,47 @@ def cmd_torture(args) -> int:
         print("trace: %d events -> %s" % (count, args.trace_out))
     elif args.trace_out and args.workers > 1:
         count = _count_jsonl(args.trace_out)
+        print("trace: %d events -> %s" % (count, args.trace_out))
+    return 0 if report.ok else 1
+
+
+def _cmd_torture_sites(args, adt_kinds, methods) -> int:
+    """``repro torture --sites N``: the site-crash campaign — tick-driven
+    site failures and recoveries against replicated systems, auditing
+    catch-up completeness, copy convergence, and global dynamic
+    atomicity of the merged multi-site history."""
+    from .runtime.torture import configs_for, run_site_torture
+
+    if args.workers > 1:
+        raise SystemExit(
+            "the site-crash campaign is serial (small next to the "
+            "log-fault matrix); use --workers 1"
+        )
+    configs = configs_for(
+        adt_kinds,
+        methods,
+        transactions=args.transactions,
+        ops_per_txn=args.ops,
+        group_commit=args.group_commit,
+        hold=args.hold,
+        bug=args.inject_bug,
+        read_mix=args.read_mix,
+        sites=args.sites,
+    )
+    trace = None
+    if args.trace_out:
+        from .runtime.trace import TraceCollector
+
+        trace = TraceCollector()
+    report = run_site_torture(
+        configs,
+        schedules=args.schedules,
+        seed=args.seed_base + args.seed,
+        trace=trace,
+    )
+    print(report.format())
+    if trace is not None:
+        count = trace.dump_jsonl(args.trace_out)
         print("trace: %d events -> %s" % (count, args.trace_out))
     return 0 if report.ok else 1
 
@@ -709,6 +905,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="route the run through the parallel engine's worker pool "
         "(1 = serial; metrics are identical either way)",
     )
+    p.add_argument(
+        "--sites",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replicate every object over N sites (available-copies; "
+        "requires --workers 1 when N > 1)",
+    )
+    p.add_argument(
+        "--site-crash",
+        action="append",
+        default=None,
+        metavar="S@F[-R]",
+        help="crash site S at tick F, recovering at tick R (omit R or "
+        "use 'end' to keep it down); repeatable",
+    )
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -833,6 +1045,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the structured drive trace as JSONL (workers=1 only)",
     )
+    p.add_argument(
+        "--sites",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replicate every object over N sites (available-copies; "
+        "one lockstep scheduler, so --shards 1 and --workers 1)",
+    )
+    p.add_argument(
+        "--site-crash",
+        action="append",
+        default=None,
+        metavar="S@F[-R]",
+        help="crash site S at tick F, recovering at tick R (omit R or "
+        "use 'end' to keep it down); repeatable",
+    )
     p.set_defaults(func=cmd_drive)
 
     p = sub.add_parser(
@@ -909,9 +1137,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--inject-bug",
-        choices=["skip-commit-force"],
+        choices=["skip-commit-force", "skip-catchup"],
         default=None,
-        help="negative control: plant a recovery bug the audit must flag",
+        help="negative control: plant a recovery bug the audit must flag "
+        "(skip-commit-force for log-fault schedules, skip-catchup for "
+        "--sites site-crash campaigns)",
+    )
+    p.add_argument(
+        "--sites",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the site-crash campaign instead: replicate the object "
+        "over N sites and torture it with tick-driven site failures "
+        "and recoveries (N >= 2)",
     )
     p.add_argument(
         "--trace-out",

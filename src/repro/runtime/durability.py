@@ -72,8 +72,10 @@ class DurableObject(ManagedObject):
 
     # -- logging hooks wrapped around the volatile path --------------------------
 
-    def try_operation(self, txn, invocation, rng=None):
-        outcome = super().try_operation(txn, invocation, rng)
+    def try_operation(self, txn, invocation, rng=None, *, extra_blockers=None):
+        outcome = super().try_operation(
+            txn, invocation, rng, extra_blockers=extra_blockers
+        )
         if outcome.ok:
             # Write-ahead in spirit: the paper-level automaton applies
             # state and log in one atomic step; the log record is what

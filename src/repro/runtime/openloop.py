@@ -51,7 +51,13 @@ from .sharding import ShardedSystem, build_sharded_system, shard_of
 from .trace import PERCENTILES, TraceCollector, _percentile
 from .workloads import _script
 
-__all__ = ["OpenLoopConfig", "DriveReport", "drive", "PERCENTILES"]
+__all__ = [
+    "OpenLoopConfig",
+    "DriveReport",
+    "drive",
+    "split_arrivals",
+    "PERCENTILES",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -82,6 +88,13 @@ class OpenLoopConfig:
     hold: int = 4
     max_restarts: int = 25
     max_ticks: int = 200_000
+    #: replication width: > 1 (or any site-crash schedule) drives a
+    #: :class:`~repro.runtime.replication.ReplicatedSystem` with
+    #: ``sites`` copies of every object instead of the sharded runtime.
+    sites: int = 1
+    #: ``(site, fail_tick, recover_tick)`` rows; ``recover_tick == 0``
+    #: keeps the site down until the run drains.
+    site_crashes: Tuple[Tuple[int, int, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.objects < 1:
@@ -112,6 +125,29 @@ class OpenLoopConfig:
             raise ValueError(
                 "ro_mode must be 'snapshot' or 'locked', not %r" % self.ro_mode
             )
+        if self.sites < 1:
+            raise ValueError("sites must be >= 1")
+        if self.sites > 1 and self.shards != 1:
+            raise ValueError(
+                "replication (sites > 1) and hash-sharding are separate "
+                "axes; use shards=1"
+            )
+        if self.sites > 1 and self.cross_shard > 0:
+            raise ValueError("cross_shard needs shards > 1, not replication")
+        for row in self.site_crashes:
+            site, fail_tick, recover_tick = row
+            if not 0 <= site < self.sites:
+                raise ValueError(
+                    "site_crashes site %d out of range 0..%d"
+                    % (site, self.sites - 1)
+                )
+            if fail_tick < 1:
+                raise ValueError("site_crashes fail_tick must be >= 1")
+            if recover_tick and recover_tick <= fail_tick:
+                raise ValueError(
+                    "site_crashes recover_tick must be 0 (never) or "
+                    "> fail_tick"
+                )
 
     def label(self) -> str:
         base = "drive/%s/%s/s%d/r%g/z%g" % (
@@ -127,6 +163,12 @@ class OpenLoopConfig:
             base += "/ro%g" % self.read_mix
             if self.ro_mode != "snapshot":
                 base += "-" + self.ro_mode
+        # Replication suffixes likewise appear only when the axis is in
+        # use, so pre-replication labels stay byte-stable.
+        if self.sites > 1:
+            base += "/x%d" % self.sites
+        if self.site_crashes:
+            base += "/sc%d" % len(self.site_crashes)
         return base
 
     def object_names(self) -> List[str]:
@@ -198,6 +240,29 @@ def arrival_ticks(config: OpenLoopConfig, rng: random.Random) -> List[int]:
         periods = int(active // on)
         out.append(int(periods * config.burst_period + (active % on)) + 1)
     return out
+
+
+def split_arrivals(
+    arrivals: Sequence[int], sites: int, rng: random.Random
+) -> List[int]:
+    """Assign each arrival an origin site by an independent uniform draw.
+
+    This is Poisson **thinning**: partitioning a Poisson process with
+    i.i.d. per-arrival coin flips yields independent Poisson sub-streams
+    at rate ``arrival_rate / sites`` each, and their superposition is
+    the original process at the full target rate.  The tempting
+    alternatives both distort the offered load: generating an
+    independent per-site stream at the full rate multiplies the total
+    by ``sites``, and deterministic round-robin assignment produces
+    sub-streams with Erlang (shape ``sites``) inter-arrival gaps, not
+    exponential ones.  Object choice (the zipfian hot-key draw) stays
+    in the *global* script stream, untouched by the split — every site
+    sees the same hot keys, which is the replicated hot-spot scenario,
+    not ``sites`` disjoint key spaces.
+    """
+    if sites < 1:
+        raise ValueError("sites must be >= 1 (got %d)" % sites)
+    return [rng.randrange(sites) for _ in arrivals]
 
 
 # ---------------------------------------------------------------------------
@@ -286,10 +351,20 @@ class DriveReport:
     #: failed parallel cells (the failed-cell contract: reported, never
     #: dropped; aggregates cover completed shards only).
     failed: List[str] = field(default_factory=list)
+    #: replication width (1 = the sharded runtime, no copies).
+    sites: int = 1
+    #: replicated drives: per-site origin traffic and fault counters.
+    per_site: List[Dict[str, int]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.failed
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the offered load that committed — the EXP-C17
+        service metric under site-crash schedules."""
+        return self.metrics.committed / self.offered if self.offered else 0.0
 
     @property
     def committed_per_s(self) -> float:
@@ -342,6 +417,24 @@ class DriveReport:
                     row.get("forces", 0),
                 )
             )
+        if self.per_site:
+            lines.append(
+                "availability         : %.3f (%d/%d offered committed)"
+                % (self.availability, self.metrics.committed, self.offered)
+            )
+            for row in self.per_site:
+                lines.append(
+                    "  site %-3d           : %4d arrivals, %4d committed, "
+                    "%d failures, %d requalified, %d forces"
+                    % (
+                        row["site"],
+                        row["arrivals"],
+                        row["committed"],
+                        row["failures"],
+                        row["requalified"],
+                        row.get("forces", 0),
+                    )
+                )
         if self.failed:
             lines.append("FAILED SHARDS (%d):" % len(self.failed))
             for entry in self.failed:
@@ -388,6 +481,13 @@ def drive(
     parallel engine (single-shard traffic only); counters merge to the
     sum of the per-shard serial runs, deterministically.
     """
+    if config.sites > 1 or config.site_crashes:
+        if workers > 1:
+            raise ValueError(
+                "replicated drives keep every site's copies in lockstep "
+                "under one scheduler; use workers=1"
+            )
+        return _drive_replicated(config, seed=seed, trace=trace)
     if workers > 1:
         if config.cross_shard > 0:
             raise ValueError(
@@ -507,6 +607,125 @@ def _per_shard_rows(
             }
         )
     return rows
+
+
+# ---------------------------------------------------------------------------
+# the replicated path
+# ---------------------------------------------------------------------------
+
+
+def _drive_replicated(
+    config: OpenLoopConfig, *, seed: int, trace: Optional[TraceCollector]
+) -> DriveReport:
+    """Open-loop traffic against a :class:`ReplicatedSystem`, with site
+    crashes fired from the tick schedule.
+
+    The same global arrival stream as the single-site drive (identical
+    rng draws) is *thinned* over the sites — see :func:`split_arrivals`
+    for why that is the only split that keeps the offered process
+    Poisson at the target rate.  One scheduler drives every site's
+    copies in lockstep; ``config.site_crashes`` fail and recover sites
+    mid-run, and the report's ``availability`` is the committed
+    fraction of the offered load.
+    """
+    from .replication import build_replicated_system
+
+    collector = trace if trace is not None else TraceCollector()
+    rng = random.Random(seed)
+    scripts = open_loop_scripts(config, rng)
+    origin = split_arrivals([tick for _, tick in scripts], config.sites, rng)
+    system = build_replicated_system(
+        config.adt_kind,
+        config.object_names(),
+        sites=config.sites,
+        recovery=config.recovery,
+        group_commit=config.group_commit,
+        hold=config.hold,
+    )
+    collector.emit(
+        "drive-start",
+        label=config.label(),
+        shards=1,
+        arrival_rate=config.arrival_rate,
+    )
+    first_event = len(collector.events)
+    arrivals = {script.name: tick for script, tick in scripts}
+    last = max(arrivals.values(), default=0)
+
+    def drive_sites(tick: int) -> bool:
+        progressed = False
+        for site, fail_tick, recover_tick in config.site_crashes:
+            if fail_tick == tick and system.site_up(site):
+                victims = system.fail_site(site)
+                scheduler.handle_crash(victims, tick)
+                progressed = True
+            if recover_tick and recover_tick == tick and not system.site_up(
+                site
+            ):
+                system.recover_site(site)
+                progressed = True
+        return progressed
+
+    start = time.perf_counter()
+    scheduler = Scheduler(
+        system,
+        [script for script, _ in scripts],
+        seed=seed,
+        label=config.label(),
+        max_restarts=config.max_restarts,
+        max_ticks=max(config.max_ticks, last + 10_000),
+        trace=collector,
+        arrivals=arrivals,
+        on_tick=drive_sites,
+    )
+    metrics = scheduler.run()
+    for site in range(config.sites):
+        if not system.site_up(site):
+            system.recover_site(site)
+    system.poll_catchup()
+    wall = time.perf_counter() - start
+    segment = collector.events[first_event:]
+    latencies = _latencies_from_trace(segment)
+    site_of_script = {
+        script.name: origin[i] for i, (script, _) in enumerate(scripts)
+    }
+    committed_by_site = _committed_by_shard(segment, site_of_script)
+    force_rows = system.force_accounting_by_site()
+    arrivals_by_site: Dict[int, int] = {}
+    for site in origin:
+        arrivals_by_site[site] = arrivals_by_site.get(site, 0) + 1
+    per_site = [
+        {
+            "site": k,
+            "arrivals": arrivals_by_site.get(k, 0),
+            "committed": committed_by_site.get(k, 0),
+            "failures": system.site_failures[k],
+            "requalified": system.requalifications[k],
+            "forces": force_rows[k]["forces"],
+        }
+        for k in range(config.sites)
+    ]
+    report = DriveReport(
+        label=config.label(),
+        shards=1,
+        workers=1,
+        offered=len(scripts),
+        metrics=metrics,
+        wall_s=wall,
+        latencies=latencies,
+        sites=config.sites,
+        per_site=per_site,
+    )
+    lat = report.latency_summary()
+    collector.emit(
+        "drive-end",
+        label=config.label(),
+        committed=metrics.committed,
+        p50=lat["p50"],
+        p95=lat["p95"],
+        p99=lat["p99"],
+    )
+    return report
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,771 @@
+"""Multi-site replication with site failure and recovery.
+
+The paper analyzes how recovery constrains concurrency *inside one
+node*; this module lifts :class:`~repro.runtime.durability.CrashableSystem`
+to **N sites** holding replicated ADT objects, so site failure and
+recovery interact with the existing WAL / 2PC / group-commit machinery.
+The protocol is RepCRec-style **available copies** (SNIPPETS.md
+Snippet 3), adapted from read/write registers to the paper's abstract
+data types:
+
+* Every logical object has one full copy per site, and every copy is an
+  ordinary :class:`~repro.runtime.durability.DurableObject` — its own
+  stable log with group commit, its own lock manager sharing the
+  compiled conflict tables, its own recovery manager.  Site 0's copy
+  keeps the logical name, so a one-site replicated system is *the same
+  objects* as the flat system (see the byte-identity note below).
+* **Writes go to every available copy, reads to one.**  A mutator
+  invocation computes its response at the lowest read-qualified
+  available copy (all in-service copies are in lockstep, see below) and
+  is chosen only if it is lock-free at *every* available copy (the
+  ``extra_blockers`` hook on
+  :meth:`~repro.runtime.system.ManagedObject.try_operation`); it is
+  then mirrored — same operation, same response — to the remaining
+  copies, acquiring locks everywhere it lands.  Observer invocations
+  acquire locks at a single read-qualified copy.
+* **Cross-site 2PC needs no new protocol**: the durable-prepare /
+  commit-record pipeline from PRs 1-2 already runs per object, so a
+  transaction spanning sites simply prepares and forces on each site's
+  own logs.  The commit point is a durable commit record at any touched
+  copy, exactly as before.
+* **Site failure** (:meth:`ReplicatedSystem.fail_site`) is the
+  ``crash_shard`` protocol generalized across sites: the site's logs
+  lose their volatile tails, and every unfinished transaction that
+  touched the site is resolved by the *surviving-commit-record* rule —
+  committed iff a commit record survives at any touched copy (durable
+  on the dead site's log, or still held at a healthy site, which forces
+  it durable during resolution); resolution completes, never retracts.
+  Unlike a shard crash the site then stays **down**: its copies leave
+  the available set until :meth:`ReplicatedSystem.recover_site`.
+* **Recovery rule** (the protocol's heart): a recovered replica serves
+  *writes immediately, reads only after a committed write to that
+  copy*.  On :meth:`~ReplicatedSystem.recover_site` each copy restarts
+  from its own stable log and then **catches up**: the committed
+  operations it missed while down are replayed through its normal
+  durable path as a synthetic, immediately-committed sync transaction
+  (the ADT generalization of "a write installs a current value" — an
+  abstract state machine needs the full missed suffix, not one value).
+  Catch-up waits for a per-object quiescent moment so the rejoining
+  copy is in lockstep with the others — same committed base, and every
+  subsequent active operation mirrored to it.  The copy then accepts
+  writes, but serves **no read until a post-recovery write commits**:
+  only that commit re-qualifies it (``copy-requalified`` trace event).
+* **Read-only snapshot transactions** (PR 8) route each read to a
+  read-qualified copy whose version chain covers the reader's snapshot
+  CSN: a re-qualified copy's chain has a gap for the commits it missed
+  while down, so it only serves snapshots at or above its
+  re-qualification CSN.  If no copy of an object qualifies, the read
+  reports ``stuck`` and the reader restarts on a fresh snapshot.
+* If **every copy of an object is unavailable** (double failure), both
+  reads and writes report ``blocked`` — the operation waits or is
+  aborted cleanly by the scheduler's aging victim selection; nothing
+  ever reads stale state.
+
+**Byte-identity at one site.**  With ``sites=1`` there are no mirrors,
+no re-qualification and no routing choice: ``invoke`` / ``commit`` /
+``snapshot_read`` reduce to exactly the inherited code paths over the
+same :class:`DurableObject`, so the event history *and* the
+RunMetrics are byte-identical to the flat
+:class:`~repro.runtime.durability.CrashableSystem` — replication, like
+sharding before it, adds metadata, not behavior, until a second site
+exists.
+
+**Auditing.**  Each copy is an ordinary object, so the torture
+harness's three recovery invariants apply per copy unchanged.  For the
+*global* story the system additionally maintains the **merged logical
+history**: every client operation recorded once against its logical
+object name (mirrors deduplicated, sync transactions excluded), with
+commit/abort events in true execution order.  Dynamic atomicity of that
+history is the cross-site correctness claim — a stale read served by a
+badly re-qualified copy shows up there as a serialization anomaly (the
+``skip-catchup`` negative control in :mod:`repro.runtime.torture`
+demonstrates the audit catches exactly that).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.events import (
+    Event,
+    Invocation,
+    Operation,
+    abort as abort_event,
+    commit as commit_event,
+    invoke as invoke_event,
+    respond as respond_event,
+)
+from ..core.history import History
+from .durability import CrashableSystem, DurableObject
+from .errors import UnknownObjectError
+from .system import OperationOutcome
+
+
+class ReplicationError(RuntimeError):
+    """A replication-layer invariant was broken (lockstep divergence,
+    bad site transition).  Torture converts these into violations."""
+
+
+def copy_name(logical: str, site: int) -> str:
+    """The name of ``logical``'s copy at ``site``.
+
+    Site 0 keeps the logical name, so a one-site replicated system is
+    structurally the flat system (byte-identity) and cross-layer tools
+    (trace reports, audits) see familiar names in the common case.
+    """
+    return logical if site == 0 else "%s@s%d" % (logical, site)
+
+
+class SiteTrace:
+    """Per-site emit proxy: stamps every event with its site id (the
+    replication counterpart of :class:`~repro.runtime.sharding.ShardTrace`)."""
+
+    __slots__ = ("_inner", "site")
+
+    def __init__(self, inner, site: int) -> None:
+        self._inner = inner
+        self.site = site
+
+    def emit(self, kind: str, **fields) -> None:
+        fields.setdefault("site", self.site)
+        self._inner.emit(kind, **fields)
+
+
+class ReplicatedSystem(CrashableSystem):
+    """A crashable system whose objects are replicated across N sites."""
+
+    def __init__(
+        self,
+        logical_objects: Sequence[Sequence[DurableObject]],
+        *,
+        sites: int = 1,
+    ):
+        """``logical_objects`` is one sequence of copies per logical
+        object, ``sites`` copies each, site order; copy *i* must be
+        named ``copy_name(logical, i)`` (use
+        :func:`build_replicated_system`)."""
+        if sites < 1:
+            raise ValueError("sites must be >= 1 (got %d)" % sites)
+        flat: List[DurableObject] = []
+        self._logical: Dict[str, Tuple[str, ...]] = {}
+        self._copy_site: Dict[str, int] = {}
+        self._copy_logical: Dict[str, str] = {}
+        for copies in logical_objects:
+            if len(copies) != sites:
+                raise ValueError(
+                    "expected %d copies, got %d" % (sites, len(copies))
+                )
+            logical = copies[0].name
+            names = []
+            for site, obj in enumerate(copies):
+                expected = copy_name(logical, site)
+                if obj.name != expected:
+                    raise ValueError(
+                        "copy %d of %r must be named %r (got %r)"
+                        % (site, logical, expected, obj.name)
+                    )
+                names.append(obj.name)
+                self._copy_site[obj.name] = site
+                self._copy_logical[obj.name] = logical
+                flat.append(obj)
+            self._logical[logical] = tuple(names)
+        super().__init__(flat)
+        self.sites = sites
+        self._site_up: List[bool] = [True] * sites
+        #: per-site failure counter (as ``shard_crashes`` for shards).
+        self.site_failures: List[int] = [0] * sites
+        #: per-site count of copies re-qualified for reads.
+        self.requalifications: List[int] = [0] * sites
+        #: copies in service and in lockstep (receive every write).
+        self._current: Set[str] = set(self._copy_site)
+        #: copies allowed to serve reads (current and re-qualified).
+        self._qualified: Set[str] = set(self._copy_site)
+        #: recovered copies awaiting their catch-up replay.
+        self._pending_catchup: Set[str] = set()
+        #: CSN from which a copy's version chain is gap-free (serves
+        #: snapshot reads at or above it); 0 for never-failed copies.
+        self._qualified_since: Dict[str, int] = {c: 0 for c in self._copy_site}
+        #: committed mutator operations per logical object, commit order
+        #: — the replay source for catch-up.
+        self._committed_ops: Dict[str, List[Operation]] = {
+            name: [] for name in self._logical
+        }
+        #: per copy: length of the committed-op prefix reflected in its
+        #: durably committed state.
+        self._applied_upto: Dict[str, int] = {c: 0 for c in self._copy_site}
+        #: active transactions' executed mutators per logical object.
+        self._txn_ops: Dict[str, Dict[str, List[Operation]]] = {}
+        #: logical objects each active transaction touched (for the
+        #: merged logical history's commit/abort events).
+        self._txn_logical: Dict[str, Set[str]] = {}
+        #: unqualified copies each active transaction wrote: its commit
+        #: re-qualifies them.
+        self._txn_writes: Dict[str, Set[str]] = {}
+        #: the merged logical history: one event stream over logical
+        #: names, mirrors deduplicated, sync transactions excluded.
+        self._logical_events: List[Event] = []
+        #: observer invocations per logical object (route read-one).
+        self._observers: Dict[str, frozenset] = {
+            name: frozenset(self.objects[name].adt.readonly_invocations())
+            for name in self._logical
+        }
+        #: routing pins: a blocked invocation leaves a *pending* record
+        #: at the copy that computed it, and the base object insists the
+        #: retry presents the same invocation there — so while an
+        #: operation is pending, ``(txn, logical)`` is pinned to that
+        #: copy even if re-qualification would now route elsewhere.
+        self._pinned: Dict[Tuple[str, str], str] = {}
+        self._sync_seq = 0
+        #: torture negative control: re-qualify recovered copies without
+        #: replaying the committed operations they missed.
+        self._skip_catchup_bug = False
+
+    # -- introspection -----------------------------------------------------------
+
+    def site_of_copy(self, name: str) -> int:
+        return self._copy_site[name]
+
+    def copies_of(self, logical: str) -> Tuple[str, ...]:
+        return self._logical[logical]
+
+    def logical_names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._logical))
+
+    def site_up(self, site: int) -> bool:
+        return self._site_up[site]
+
+    def is_qualified(self, name: str) -> bool:
+        """May this copy serve (locked or snapshot) reads right now?"""
+        return name in self._qualified
+
+    def is_current(self, name: str) -> bool:
+        """Is this copy in service (in lockstep, receiving writes)?"""
+        return name in self._current
+
+    def logical_history(self) -> History:
+        """The merged multi-site history over *logical* object names:
+        each client operation once, commit/abort events in true
+        execution order, sync transactions excluded.  This is the
+        history the global dynamic-atomicity audit checks."""
+        return History(self._logical_events, validate=False)
+
+    def logical_specs(self) -> Dict[str, object]:
+        """Logical name -> ADT spec, for the global audit."""
+        return {name: self.objects[name].adt for name in self._logical}
+
+    # -- tracing -----------------------------------------------------------------
+
+    def bind_trace(self, collector) -> None:
+        """Bind a trace collector, stamping object/log events per site."""
+        self.trace = collector
+        for name, obj in self.objects.items():
+            proxy = SiteTrace(collector, self._copy_site[name])
+            obj.trace = proxy
+            log = getattr(getattr(obj, "wal", None), "log", None)
+            if log is not None:
+                log.trace = proxy
+                log.trace_name = name
+
+    # -- per-site accounting -------------------------------------------------------
+
+    def force_accounting_by_site(self) -> List[Dict[str, int]]:
+        """``(forces, force_requests, forced_records)`` per site."""
+        rows = [
+            {"site": k, "forces": 0, "force_requests": 0, "forced_records": 0}
+            for k in range(self.sites)
+        ]
+        for name, obj in self.objects.items():
+            log = getattr(getattr(obj, "wal", None), "log", None)
+            if log is None:
+                continue
+            row = rows[self._copy_site[name]]
+            row["forces"] += log.forces
+            row["force_requests"] += log.force_requests
+            row["forced_records"] += log.forced_records
+        return rows
+
+    # -- operation routing ---------------------------------------------------------
+
+    def invoke(
+        self,
+        txn: str,
+        obj_name: str,
+        invocation: Invocation,
+        rng: Optional[random.Random] = None,
+    ) -> OperationOutcome:
+        """Attempt one operation on a *logical* object.
+
+        Observers are routed to one read-qualified copy; mutators are
+        chosen at the response authority (the lowest read-qualified
+        in-service copy, falling back to the lowest in-service copy when
+        none is qualified yet), gated on being lock-free at every
+        in-service copy, then mirrored to the rest.  With no in-service
+        copy (or, for reads, no qualified copy) the outcome is
+        ``blocked`` with no holders — the scheduler waits and its aging
+        victim selection eventually aborts the transaction cleanly.
+        """
+        self._require_active(txn)
+        if obj_name not in self._logical:
+            raise UnknownObjectError(obj_name)
+        self._maybe_catchup(obj_name)
+        copies = [c for c in self._logical[obj_name] if c in self._current]
+        if not copies:
+            return OperationOutcome("blocked")
+        if invocation in self._observers[obj_name]:
+            return self._invoke_read(txn, obj_name, copies, invocation, rng)
+        return self._invoke_write(txn, obj_name, copies, invocation, rng)
+
+    def _invoke_read(self, txn, logical, copies, invocation, rng):
+        pinned = self._pinned.get((txn, logical))
+        if pinned is not None and pinned in copies:
+            target = pinned
+        else:
+            target = next((c for c in copies if c in self._qualified), None)
+        if target is None:
+            # Every surviving copy is freshly recovered and awaiting its
+            # re-qualifying committed write: reads must wait, never
+            # observe a copy the protocol calls stale.
+            return OperationOutcome("blocked")
+        self._touched.setdefault(txn, set()).add(target)
+        outcome = self.objects[target].try_operation(txn, invocation, rng)
+        self._sync_events(target)
+        if outcome.ok:
+            self._pinned.pop((txn, logical), None)
+            self._record_logical(txn, logical, outcome.operation)
+        else:
+            self._pinned[(txn, logical)] = target
+        return outcome
+
+    def _invoke_write(self, txn, logical, copies, invocation, rng):
+        pinned = self._pinned.get((txn, logical))
+        if pinned is not None and pinned in copies:
+            authority = pinned
+        else:
+            authority = next(
+                (c for c in copies if c in self._qualified), copies[0]
+            )
+        others = [c for c in copies if c != authority]
+        self._touched.setdefault(txn, set()).add(authority)
+        if others:
+            peers = [self.objects[c] for c in others]
+
+            def extra_blockers(t, operation):
+                holders: Set[str] = set()
+                for peer in peers:
+                    holders.update(peer.locks.blockers(t, operation))
+                return holders
+
+            outcome = self.objects[authority].try_operation(
+                txn, invocation, rng, extra_blockers=extra_blockers
+            )
+        else:
+            outcome = self.objects[authority].try_operation(txn, invocation, rng)
+        self._sync_events(authority)
+        if not outcome.ok:
+            self._pinned[(txn, logical)] = authority
+            return outcome
+        self._pinned.pop((txn, logical), None)
+        for c in others:
+            self._mirror(c, txn, outcome.operation)
+            self._touched[txn].add(c)
+            self._sync_events(c)
+        self._record_logical(txn, logical, outcome.operation)
+        self._txn_ops.setdefault(txn, {}).setdefault(logical, []).append(
+            outcome.operation
+        )
+        unqualified = [c for c in copies if c not in self._qualified]
+        if unqualified:
+            self._txn_writes.setdefault(txn, set()).update(unqualified)
+        return outcome
+
+    def _record_logical(self, txn: str, logical: str, operation: Operation):
+        self._txn_logical.setdefault(txn, set()).add(logical)
+        self._logical_events.append(
+            invoke_event(operation.invocation, logical, txn)
+        )
+        self._logical_events.append(
+            respond_event(operation.response, logical, txn)
+        )
+
+    def _mirror(self, name: str, txn: str, operation: Operation) -> None:
+        """Apply an already-chosen operation at a lockstep copy.
+
+        The copy's state equals the authority's (lockstep invariant) and
+        the response was pre-checked lock-free there, so the forced
+        choice must succeed; anything else is divergence and raises."""
+        obj = self.objects[name]
+        want = operation.response
+        previous = obj._response_chooser
+
+        def chooser(free):
+            for response, op in free:
+                if response == want:
+                    return response, op
+            raise ReplicationError(
+                "mirror of %s=%r not enabled at %s: copies diverged"
+                % (operation.invocation, want, name)
+            )
+
+        obj._response_chooser = chooser
+        try:
+            outcome = obj.try_operation(txn, operation.invocation)
+        finally:
+            obj._response_chooser = previous
+        if not outcome.ok:
+            raise ReplicationError(
+                "mirror of %s=%r %s at %s: copies diverged"
+                % (operation.invocation, want, outcome.status, name)
+            )
+
+    # -- commit / abort bookkeeping -------------------------------------------------
+
+    def _install_versions(self, txn: str, names: Sequence[str]) -> int:
+        """Hooked at every durable-commit site (normal completion, crash
+        resolution, site-crash resolution): append the transaction's
+        mutators to the committed-op log, advance per-copy applied
+        prefixes, re-qualify the recovered copies it wrote, and record
+        the logical commit events."""
+        csn = super()._install_versions(txn, names)
+        touched = self._touched.get(txn, set())
+        for logical, ops in self._txn_ops.pop(txn, {}).items():
+            log = self._committed_ops[logical]
+            log.extend(ops)
+            for copy in self._logical[logical]:
+                # A copy in the touched set executed *every* one of the
+                # transaction's ops on this object (catch-up only admits
+                # copies at quiescent moments, so no partial overlap).
+                if copy in touched:
+                    self._applied_upto[copy] = len(log)
+        for copy in sorted(self._txn_writes.pop(txn, ())):
+            if copy in self._current and copy not in self._qualified:
+                self._qualified.add(copy)
+                self._qualified_since[copy] = csn
+                site = self._copy_site[copy]
+                self.requalifications[site] += 1
+                if self.trace is not None:
+                    self.trace.emit(
+                        "copy-requalified",
+                        obj=self._copy_logical[copy],
+                        site=site,
+                        csn=csn,
+                    )
+        for logical in sorted(self._txn_logical.pop(txn, ())):
+            self._logical_events.append(commit_event(logical, txn))
+        return csn
+
+    def _drop_txn(self, txn: str) -> None:
+        """Forget an aborted/killed transaction's replication bookkeeping
+        and record its logical abort events."""
+        self._txn_ops.pop(txn, None)
+        self._txn_writes.pop(txn, None)
+        for key in [k for k in self._pinned if k[0] == txn]:
+            del self._pinned[key]
+        for logical in sorted(self._txn_logical.pop(txn, ())):
+            self._logical_events.append(abort_event(logical, txn))
+
+    def abort(self, txn: str) -> None:
+        readonly = txn in self._ro_active
+        super().abort(txn)
+        if not readonly:
+            self._drop_txn(txn)
+
+    # -- site failure ----------------------------------------------------------------
+
+    def fail_site(self, site: int) -> Set[str]:
+        """Crash one site and keep it down until :meth:`recover_site`.
+
+        The ``crash_shard`` protocol generalized across sites: the
+        site's stable logs lose their volatile tails (held group-commit
+        batches die unflushed), every unfinished transaction that
+        touched the site is resolved by the surviving-commit-record rule
+        — completed everywhere (healthy copies force their records
+        durable) or killed everywhere — and read-only snapshot readers
+        that observed the site die with their registrations.  The site's
+        copies leave the available set; they restart from their logs at
+        recovery time.  Returns the transactions killed.
+        """
+        if not 0 <= site < self.sites:
+            raise ValueError(
+                "site must be in 0..%d (got %d)" % (self.sites - 1, site)
+            )
+        if not self._site_up[site]:
+            raise ReplicationError("site %d is already down" % site)
+        self._site_up[site] = False
+        self.site_failures[site] += 1
+        names = {c for c, s in self._copy_site.items() if s == site}
+        self._sync_events()
+        self._current -= names
+        self._qualified -= names
+        self._pending_catchup -= names
+        doomed = [
+            txn
+            for txn, pending in self._committing.items()
+            if names.intersection(pending.touched)
+        ]
+        for txn in doomed:
+            del self._committing[txn]
+        for name in sorted(names):
+            self.objects[name].wal.log.crash()
+        candidates = [
+            txn
+            for txn, touched in self._touched.items()
+            if txn not in self._finished and touched & names
+        ]
+        victims: Set[str] = set()
+        ro_victims = [
+            txn
+            for txn, observed in self._ro_touched.items()
+            if txn in self._ro_active and observed & names
+        ]
+        for txn in sorted(ro_victims):
+            del self._ro_active[txn]
+            self._finished[txn] = "aborted"
+            victims.add(txn)
+        resolved: List[str] = []
+        for txn in sorted(candidates):
+            touched = sorted(self._touched[txn])
+            reached_commit_point = any(
+                self.objects[name].wal.has_durable_commit(txn)
+                for name in touched
+            )
+            if reached_commit_point:
+                for name in touched:
+                    if name in names:
+                        self.objects[name].crash_commit(txn)
+                    else:
+                        self._complete_surviving_commit(name, txn)
+                self._finished[txn] = "committed"
+                resolved.append(txn)
+                self._install_versions(txn, touched)
+            else:
+                for name in touched:
+                    if name in names:
+                        self.objects[name].crash_kill(txn)
+                    else:
+                        self.objects[name].abort(txn)
+                self._finished[txn] = "aborted"
+                victims.add(txn)
+                self._drop_txn(txn)
+        self._sync_events()
+        if self.trace is not None:
+            self.trace.emit(
+                "site-failure",
+                site=site,
+                victims=sorted(victims),
+                resolved=resolved,
+            )
+        return victims
+
+    def _complete_surviving_commit(self, name: str, txn: str) -> None:
+        """Finish an in-doubt commit at a healthy copy (same completion
+        as :meth:`~repro.runtime.sharding.ShardedSystem._complete_surviving_commit`):
+        make the commit record durable, forcing a held batch if needed,
+        then acknowledge."""
+        obj = self.objects[name]
+        if not obj.wal.has_durable_commit(txn):
+            obj.submit_commit(txn)
+            if not obj.commit_ready(txn):
+                obj.wal.log.force()
+        obj.complete_commit(txn)
+        self._sync_events(name)
+
+    # -- site recovery ---------------------------------------------------------------
+
+    def recover_site(self, site: int) -> None:
+        """Bring a failed site back.  Each copy restarts from its own
+        stable log and is scheduled for catch-up; once caught up it
+        serves writes immediately, reads only after a committed write
+        re-qualifies it."""
+        if not 0 <= site < self.sites:
+            raise ValueError(
+                "site must be in 0..%d (got %d)" % (self.sites - 1, site)
+            )
+        if self._site_up[site]:
+            raise ReplicationError("site %d is already up" % site)
+        self._site_up[site] = True
+        names = sorted(c for c, s in self._copy_site.items() if s == site)
+        for name in names:
+            self.objects[name].crash_and_restart()
+            self._pending_catchup.add(name)
+        if self.trace is not None:
+            self.trace.emit("site-recovery", site=site, copies=names)
+        for logical in sorted(self._logical):
+            self._maybe_catchup(logical)
+
+    def poll_catchup(self) -> None:
+        """Attempt catch-up admission for every recovered copy still
+        awaiting replay.  Catch-up normally piggybacks on the next
+        client operation against the object; a driver whose workload
+        drains right after a recovery calls this at the quiescent end
+        of the run so admission does not depend on further traffic."""
+        for logical in sorted(self._logical):
+            self._maybe_catchup(logical)
+
+    def _maybe_catchup(self, logical: str) -> None:
+        """Admit recovered copies of ``logical`` at a quiescent moment.
+
+        A copy can only rejoin the lockstep set while no transaction
+        holds locks at any in-service copy of the object: admitted
+        mid-transaction it would hold a partial suffix of that
+        transaction's operations and diverge.  The missed committed
+        suffix is replayed through the copy's normal durable path as a
+        synthetic sync transaction, so a crash after catch-up restarts
+        into the caught-up state."""
+        pending = [
+            c for c in self._logical[logical] if c in self._pending_catchup
+        ]
+        if not pending:
+            return
+        current = [c for c in self._logical[logical] if c in self._current]
+        if any(self.objects[c].locks.holders() for c in current):
+            return
+        log = self._committed_ops[logical]
+        for name in pending:
+            missed = log[self._applied_upto[name]:]
+            if missed and not self._skip_catchup_bug:
+                self._replay_catchup(name, missed)
+            self._applied_upto[name] = len(log)
+            self._pending_catchup.discard(name)
+            self._current.add(name)
+            # Not read-qualified: the protocol requires a *client* write
+            # to commit at this copy before it serves reads again.
+
+    def _replay_catchup(self, name: str, missed: Sequence[Operation]) -> None:
+        obj = self.objects[name]
+        self._sync_seq += 1
+        txn = "sync.%s.%d" % (name, self._sync_seq)
+        previous = obj._response_chooser
+        for operation in missed:
+            want = operation.response
+
+            def chooser(free, want=want, operation=operation):
+                for response, op in free:
+                    if response == want:
+                        return response, op
+                raise ReplicationError(
+                    "catch-up replay of %s=%r not enabled at %s"
+                    % (operation.invocation, want, name)
+                )
+
+            obj._response_chooser = chooser
+            try:
+                outcome = obj.try_operation(txn, operation.invocation)
+            finally:
+                obj._response_chooser = previous
+            if not outcome.ok:
+                raise ReplicationError(
+                    "catch-up replay %s at %s" % (outcome.status, name)
+                )
+        # Durable commit (forces the log if the batch is held): restart
+        # after catch-up must not lose the replay.
+        obj.commit(txn)
+        self._finished[txn] = "committed"
+        self._sync_events(name)
+
+    # -- whole-system crash ----------------------------------------------------------
+
+    def crash(self) -> Set[str]:
+        """Whole-system crash.  Requires every site up (recover failed
+        sites first): the inherited protocol restarts every object, and
+        restarting a copy that is administratively *down* would smuggle
+        it back into service without its catch-up."""
+        if not all(self._site_up):
+            raise ReplicationError(
+                "recover all sites before a whole-system crash (down: %s)"
+                % [k for k, up in enumerate(self._site_up) if not up]
+            )
+        victims = super().crash()
+        for txn in sorted(victims):
+            self._drop_txn(txn)
+        return victims
+
+    # -- read-only snapshot routing --------------------------------------------------
+
+    def snapshot_read(
+        self, txn: str, obj_name: str, invocation: Invocation
+    ) -> OperationOutcome:
+        """One lock-free read against the reader's snapshot, routed to a
+        read-qualified copy whose version chain covers the snapshot CSN.
+
+        A re-qualified copy's chain has a gap for the commits it missed
+        while down, so it serves only snapshots at or above its
+        re-qualification CSN.  With no eligible copy the read reports
+        ``stuck`` — the reader restarts and takes a fresh snapshot,
+        which any re-qualified copy can serve."""
+        self._require_active(txn)
+        if obj_name not in self._logical:
+            raise UnknownObjectError(obj_name)
+        csn = self.begin_readonly(txn)
+        target = next(
+            (
+                c
+                for c in self._logical[obj_name]
+                if c in self._qualified and self._qualified_since[c] <= csn
+            ),
+            None,
+        )
+        if target is None:
+            return OperationOutcome("stuck")
+        obj = self.objects[target]
+        operation = obj.read_at(csn, invocation)
+        if operation is None:
+            return OperationOutcome("stuck")
+        self._ro_touched.setdefault(txn, set()).add(target)
+        self._ro_observations.setdefault(txn, []).append((target, operation))
+        if self.trace is not None:
+            self.trace.emit(
+                "snapshot-read",
+                txn=txn,
+                obj=target,
+                op=str(invocation),
+                csn=csn,
+            )
+        return OperationOutcome("ok", operation=operation)
+
+
+def build_replicated_system(
+    adt_kind: str,
+    object_names: Sequence[str],
+    *,
+    sites: int = 1,
+    recovery: str = "DU",
+    group_commit: int = 1,
+    hold: int = 4,
+    log_factory=None,
+    compiled_conflicts="auto",
+) -> ReplicatedSystem:
+    """A replicated system of ``adt_kind`` objects, ``sites`` copies each.
+
+    Every copy gets its own stable log (built by ``log_factory``, or a
+    fresh :class:`~repro.runtime.wal.StableLog` under the group-commit
+    policy); all copies of all objects share one compiled conflict table
+    through the per-kind registry.
+    """
+    from ..adts.registry import make_adt
+    from .wal import GroupCommitPolicy, StableLog
+
+    recovery = recovery.upper()
+    policy = GroupCommitPolicy(group_commit, hold)
+    if log_factory is None:
+        def log_factory():  # noqa: F811 — default factory
+            return StableLog(policy=policy)
+    logical_objects = []
+    for name in object_names:
+        copies = []
+        for site in range(sites):
+            adt = make_adt(adt_kind, copy_name(name, site))
+            conflict = (
+                adt.nrbc_conflict() if recovery == "UIP" else adt.nfc_conflict()
+            )
+            copies.append(
+                DurableObject(
+                    adt,
+                    conflict,
+                    recovery,
+                    log_factory=log_factory,
+                    compiled_conflicts=compiled_conflicts,
+                )
+            )
+        logical_objects.append(copies)
+    return ReplicatedSystem(logical_objects, sites=sites)

@@ -112,7 +112,12 @@ class ManagedObject:
     # -- operation execution -------------------------------------------------------
 
     def try_operation(
-        self, txn: str, invocation: Invocation, rng: Optional[random.Random] = None
+        self,
+        txn: str,
+        invocation: Invocation,
+        rng: Optional[random.Random] = None,
+        *,
+        extra_blockers=None,
     ) -> OperationOutcome:
         """Attempt to execute ``invocation`` for ``txn``.
 
@@ -127,6 +132,12 @@ class ManagedObject:
           operation;
         * ``stuck`` — the recovery view enables no response at all
           (poisoned view under an under-constrained conflict relation).
+
+        ``extra_blockers`` is an optional callable ``(txn, operation) ->
+        holders`` consulted per candidate response in addition to this
+        object's own lock manager; the replication layer passes it so a
+        write is only chosen when it is free at *every* available copy,
+        not just the one computing the response.
         """
         pending = self._pending.get(txn)
         if pending is None:
@@ -151,7 +162,9 @@ class ManagedObject:
         free: List[Tuple[Hashable, Operation]] = []
         for response in sorted(responses, key=repr):
             operation = self.adt.operation(invocation, response)
-            holders = self.locks.blockers(txn, operation)
+            holders = set(self.locks.blockers(txn, operation))
+            if extra_blockers is not None:
+                holders.update(extra_blockers(txn, operation))
             if holders:
                 blockers.update(holders)
             else:

@@ -44,6 +44,7 @@ from ..core.views import DU, UIP
 from .durability import CrashableSystem, DurableObject
 from .faults import CrashPoint, FaultPlan, FaultyStableLog, RetryPolicy
 from .metrics import FaultCounters
+from .replication import ReplicatedSystem, ReplicationError, build_replicated_system
 from .scheduler import Scheduler
 from .wal import CommitRecord, GroupCommitPolicy, IntentionsRecord
 from .workloads import (
@@ -86,7 +87,15 @@ class TortureConfig:
     #: lock-free multiversion path; observer-less ADTs (queues) simply
     #: get no readers, so mixed matrices stay runnable.
     read_mix: float = 0.0
-    bug: Optional[str] = None  # "skip-commit-force" enables the negative control
+    #: replication width: >1 runs the workload on a
+    #: :class:`~repro.runtime.replication.ReplicatedSystem` under
+    #: site-crash schedules (see :func:`run_site_schedule`) instead of
+    #: log-fault plans.
+    sites: int = 1
+    #: negative controls: "skip-commit-force" (log-fault schedules) or
+    #: "skip-catchup" (site-crash schedules: recovered copies rejoin
+    #: without replaying the commits they missed).
+    bug: Optional[str] = None
 
     def label(self) -> str:
         base = (
@@ -98,6 +107,8 @@ class TortureConfig:
             base += "/gc%d" % self.group_commit
         if self.read_mix > 0:
             base += "/ro%g" % self.read_mix
+        if self.sites > 1:
+            base += "/x%d" % self.sites
         return base
 
 
@@ -627,3 +638,303 @@ def _merge_schedule(report: TortureReport, result: ScheduleResult) -> None:
     report.per_config[result.config] = (
         report.per_config.get(result.config, 0) + 1
     )
+
+
+# ---------------------------------------------------------------------------
+# site-crash torture (replicated systems)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SiteCrash:
+    """Fail one site at a tick, recover it at a later tick (0 = leave it
+    down until the end-of-run recovery)."""
+
+    site: int
+    fail_tick: int
+    recover_tick: int = 0
+
+    def describe(self) -> str:
+        if self.recover_tick:
+            return "site%d@%d-%d" % (self.site, self.fail_tick, self.recover_tick)
+        return "site%d@%d-end" % (self.site, self.fail_tick)
+
+
+def describe_site_schedule(crashes: Sequence[SiteCrash]) -> str:
+    return ",".join(c.describe() for c in crashes) or "no-crashes"
+
+
+def build_replicated_torture_system(
+    config: TortureConfig, obj_name: str = "X"
+) -> Tuple[ReplicatedSystem, object]:
+    """A one-logical-object replicated system for the config.
+
+    Site crashes are driven by tick schedules rather than log-interaction
+    fault plans, so the copies use plain stable logs under the config's
+    group-commit policy; the durability-accounting invariant (which needs
+    the fault archive) is covered by the single-site matrix.
+    """
+    system = build_replicated_system(
+        config.adt_kind,
+        [obj_name],
+        sites=config.sites,
+        recovery=config.recovery,
+        group_commit=config.group_commit,
+        hold=config.hold,
+    )
+    if config.bug == "skip-catchup":
+        system._skip_catchup_bug = True
+    return system, system.objects[obj_name].adt
+
+
+def audit_replication(
+    system: ReplicatedSystem, config: TortureConfig, schedule: str
+) -> List[Violation]:
+    """The replication-level invariants, checked at a quiescent moment
+    (end of run, every site recovered):
+
+    * **catch-up completeness** — no copy is still awaiting its replay;
+    * **copy convergence** — every in-service copy of a logical object
+      restored the same committed state;
+    * **dynamic atomicity of the merged logical history** — the global,
+      cross-site serialization claim.  A stale read served by a badly
+      re-qualified copy (the ``skip-catchup`` negative control) surfaces
+      here: the read's response is inconsistent with the committed
+      writes in the logical history.
+    """
+    violations: List[Violation] = []
+    label = config.label()
+    stuck = sorted(system._pending_catchup)
+    if stuck:
+        violations.append(
+            Violation(
+                label,
+                schedule,
+                "catch-up-stuck",
+                "copies never completed catch-up: %s" % stuck,
+            )
+        )
+    for logical in system.logical_names():
+        tips = {
+            c: system.objects[c].committed_tip
+            for c in system.copies_of(logical)
+            if system.is_current(c)
+        }
+        if not tips:
+            continue
+        reference_copy = min(tips)
+        reference = tips[reference_copy]
+        for name in sorted(tips):
+            if tips[name] != reference:
+                violations.append(
+                    Violation(
+                        label,
+                        schedule,
+                        "copy-divergence",
+                        "%s restored %r but %s has %r"
+                        % (name, sorted(map(repr, tips[name])),
+                           reference_copy, sorted(map(repr, reference))),
+                    )
+                )
+    try:
+        if not is_dynamic_atomic(
+            system.logical_history(), system.logical_specs()
+        ):
+            violations.append(
+                Violation(
+                    label,
+                    schedule,
+                    "dynamic-atomicity",
+                    "merged multi-site logical history is not dynamic atomic",
+                )
+            )
+    except TooManyOrdersError:
+        pass  # combinatorial blowup: convergence checks still ran
+    return violations
+
+
+def run_site_schedule(
+    config: TortureConfig,
+    crashes: Sequence[SiteCrash],
+    *,
+    seed: int = 0,
+    trace=None,
+) -> ScheduleResult:
+    """Drive one workload on a replicated system under a site-crash
+    schedule, auditing the merged multi-site history at the end.
+
+    Sites fail and recover at their scheduled ticks while the workload
+    runs; the scheduler treats site-crash victims like any crash victims
+    (restart as fresh incarnations).  After the run every still-down
+    site is recovered, the replication invariants are audited, and a
+    final whole-system crash re-runs the single-site recovery audit over
+    every copy — restart state per copy plus global dynamic atomicity of
+    the merged copy-level history.
+    """
+    system, adt = build_replicated_torture_system(config)
+    scripts = workload_for(config, adt, random.Random(seed))
+    schedule = describe_site_schedule(crashes)
+    violations: List[Violation] = []
+    if trace is not None:
+        trace.emit("schedule-start", label=config.label(), plan=schedule)
+
+    def drive_sites(tick: int) -> bool:
+        progressed = False
+        for crash in crashes:
+            if crash.fail_tick == tick and system.site_up(crash.site):
+                victims = system.fail_site(crash.site)
+                scheduler.handle_crash(victims, tick)
+                progressed = True
+            if (
+                crash.recover_tick
+                and crash.recover_tick == tick
+                and not system.site_up(crash.site)
+            ):
+                system.recover_site(crash.site)
+                progressed = True
+        return progressed
+
+    scheduler = Scheduler(
+        system,
+        scripts,
+        seed=seed,
+        max_restarts=config.max_restarts,
+        max_ticks=config.max_ticks,
+        label=config.label(),
+        on_tick=drive_sites,
+        trace=trace,
+    )
+    committed = 0
+    try:
+        scheduler.run()
+        committed = scheduler.metrics.committed
+        for site in range(config.sites):
+            if not system.site_up(site):
+                system.recover_site(site)
+        system.poll_catchup()
+        violations.extend(audit_replication(system, config, schedule))
+        # Final clean whole-system crash: every copy restarts from its
+        # log and the single-site invariants must hold per copy.
+        system.crash()
+        violations.extend(audit_recovery(system, config, schedule))
+    except ReplicationError as exc:
+        # Lockstep divergence (a mirrored or replayed operation was not
+        # legal at its copy) is itself a reportable invariant breach —
+        # the skip-catchup negative control trips this on state-coupled
+        # ADTs before any read can even go stale.
+        violations.append(
+            Violation(
+                config.label(), schedule, "replication-divergence", str(exc)
+            )
+        )
+        committed = scheduler.metrics.committed
+    return ScheduleResult(
+        config=config.label(),
+        schedule=schedule,
+        violations=violations,
+        crashes=sum(system.site_failures) + system.crash_count,
+        committed=committed,
+        faults_fired=len(crashes),
+    )
+
+
+def profile_site_horizon(config: TortureConfig, *, seed: int = 0) -> int:
+    """Tick count of a crash-free run of the config's workload on the
+    replicated system — the tick horizon site-crash schedules draw
+    their fail/recover points from."""
+    system, adt = build_replicated_torture_system(config)
+    scripts = workload_for(config, adt, random.Random(seed))
+    metrics = Scheduler(
+        system,
+        scripts,
+        seed=seed,
+        max_restarts=config.max_restarts,
+        max_ticks=config.max_ticks,
+    ).run()
+    return max(2, metrics.ticks)
+
+
+def plan_site_campaign(
+    configs: Sequence[TortureConfig],
+    *,
+    schedules: int,
+    seed: int = 0,
+) -> List[Tuple[TortureConfig, Tuple[SiteCrash, ...], int]]:
+    """Deterministic ``(config, site-crash schedule, run_seed)`` cells.
+
+    Mirrors :func:`plan_campaign`'s shape: schedule *i* goes to
+    ``configs[i % len(configs)]``; two out of three rounds advance a
+    systematic sweep of a single site crash across the config's profiled
+    tick horizon (alternating crash-only and crash-then-recover), and
+    the third samples multi-site schedules — including windows where
+    *every* site is down at once, the double-failure edge.  All RNG
+    draws happen here, serially, from one master seed.
+    """
+    if not configs:
+        raise ValueError("no torture configs")
+    for config in configs:
+        if config.sites < 2:
+            raise ValueError(
+                "site-crash campaigns need sites >= 2 (got %d for %s)"
+                % (config.sites, config.label())
+            )
+    master = random.Random(seed)
+    horizons = {c.label(): profile_site_horizon(c, seed=seed) for c in configs}
+    sweep_pos: Dict[str, int] = {c.label(): 0 for c in configs}
+    cells: List[Tuple[TortureConfig, Tuple[SiteCrash, ...], int]] = []
+    for i in range(schedules):
+        config = configs[i % len(configs)]
+        label = config.label()
+        horizon = horizons[label]
+        round_number = i // len(configs)
+        pos = sweep_pos[label]
+        if round_number % 3 != 2 and pos < 2 * horizon:
+            fail_tick = 1 + (pos // 2) % horizon
+            site = master.randrange(config.sites)
+            if pos % 2 == 0:
+                crashes = (SiteCrash(site, fail_tick),)
+            else:
+                gap = 1 + master.randrange(horizon)
+                crashes = (SiteCrash(site, fail_tick, fail_tick + gap),)
+            sweep_pos[label] = pos + 1
+        else:
+            count = 1 + master.randrange(min(3, config.sites))
+            picks = master.sample(range(config.sites), count)
+            crashes = tuple(
+                SiteCrash(
+                    site,
+                    1 + master.randrange(horizon),
+                    (
+                        0
+                        if master.random() < 0.25
+                        else 2 + master.randrange(2 * horizon)
+                    ),
+                )
+                for site in sorted(picks)
+            )
+            crashes = tuple(
+                c
+                for c in crashes
+                if not c.recover_tick or c.recover_tick > c.fail_tick
+            )
+        cells.append((config, crashes, master.randrange(2**31)))
+    return cells
+
+
+def run_site_torture(
+    configs: Sequence[TortureConfig],
+    *,
+    schedules: int,
+    seed: int = 0,
+    trace=None,
+) -> TortureReport:
+    """Run ``schedules`` site-crash schedules round-robin over the
+    configs (each with ``sites >= 2``).  Serial by construction — the
+    campaign is small compared to the log-fault matrix, and the report
+    is reproducible from ``(configs, schedules, seed)``."""
+    cells = plan_site_campaign(configs, schedules=schedules, seed=seed)
+    report = TortureReport(seed=seed)
+    for config, crashes, run_seed in cells:
+        result = run_site_schedule(config, crashes, seed=run_seed, trace=trace)
+        _merge_schedule(report, result)
+    return report

@@ -40,7 +40,7 @@ import math
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Bumped when event kinds or required fields are added.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: The latency percentiles every report emits (``trace-report`` and the
 #: open-loop driver share this constant so trend-gate fields line up).
@@ -90,6 +90,14 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "snapshot-read": ("txn", "obj", "op"),
     "ro-commit": ("txn", "script", "born", "latency"),
     "ro-abort": ("txn", "reason"),
+    # replicated runtime (schema v4): events from a replicated system's
+    # copies and logs additionally carry a ``site`` id field.  Site
+    # crashes reconcile like shard crashes (their victims appear as
+    # crash-reason txn-abort / ro-abort events); ``copy-requalified``
+    # marks a recovered copy re-admitted to reads by a committed write.
+    "site-failure": ("site", "victims", "resolved"),
+    "site-recovery": ("site", "copies"),
+    "copy-requalified": ("obj", "site", "csn"),
 }
 
 #: ``txn-abort`` reasons with a defined meaning.

@@ -345,3 +345,129 @@ def test_latency_summary_small_populations():
     assert summary["p95"] == 40
     empty = _report_with([]).latency_summary()
     assert empty["p50"] == 0 and empty["max"] == 0
+
+
+# ---------------------------------------------------------------------------
+# replication: the sites axis and the Poisson-preserving split
+# ---------------------------------------------------------------------------
+
+
+def test_config_validates_replication_axes():
+    for bad in (
+        dict(sites=0),
+        dict(sites=2, shards=2),
+        dict(sites=2, cross_shard=0.5),
+        dict(sites=2, site_crashes=((2, 5, 0),)),
+        dict(sites=2, site_crashes=((1, 0, 0),)),
+        dict(sites=2, site_crashes=((1, 9, 4),)),
+    ):
+        with pytest.raises(ValueError):
+            OpenLoopConfig(**bad)
+
+
+def test_replication_label_suffixes_only_when_in_use():
+    plain = OpenLoopConfig()
+    assert "/x" not in plain.label() and "/sc" not in plain.label()
+    replicated = OpenLoopConfig(sites=3, site_crashes=((1, 5, 9),))
+    assert replicated.label().endswith("/x3/sc1")
+
+
+def test_split_arrivals_superposition_is_unchanged():
+    from repro.runtime.openloop import split_arrivals
+
+    config = OpenLoopConfig(transactions=500, arrival_rate=2.0)
+    rng = random.Random(3)
+    arrivals = arrival_ticks(config, rng)
+    origin = split_arrivals(arrivals, 4, rng)
+    assert len(origin) == len(arrivals)
+    assert set(origin) <= set(range(4))
+    # thinning relabels arrivals; it never moves, drops, or adds any,
+    # so the merged stream is exactly the original target-rate process
+    merged = sorted(
+        tick for site in range(4)
+        for tick, s in zip(arrivals, origin) if s == site
+    )
+    assert merged == sorted(arrivals)
+
+
+def test_split_arrivals_substreams_stay_poisson():
+    """The pin for the split rule: i.i.d. per-arrival assignment keeps
+    each sub-stream Poisson at rate/sites.
+
+    Tested via the gap distribution: sub-stream inter-arrival gaps must
+    stay exponential (CV ~ 1), where deterministic round-robin would
+    produce Erlang-k gaps (CV ~ 1/sqrt(k), far below 1).
+    """
+    from repro.runtime.openloop import split_arrivals
+
+    sites = 4
+    config = OpenLoopConfig(transactions=8000, arrival_rate=1.0)
+    rng = random.Random(7)
+    # work in continuous arrival *times*, the underlying process
+    times, t = [], 0.0
+    for _ in range(config.transactions):
+        t += rng.expovariate(config.arrival_rate)
+        times.append(t)
+
+    def gap_cv(stream):
+        gaps = [b - a for a, b in zip(stream, stream[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return math.sqrt(var) / mean
+
+    origin = split_arrivals(times, sites, rng)
+    for site in range(sites):
+        sub = [x for x, s in zip(times, origin) if s == site]
+        # rate: each sub-stream carries ~1/sites of the traffic
+        assert len(sub) == pytest.approx(len(times) / sites, rel=0.1)
+        # exponential gaps: CV ~ 1 (Poisson), not ~ 0.5 (Erlang-4)
+        assert gap_cv(sub) == pytest.approx(1.0, abs=0.1)
+    # the round-robin strawman fails exactly this pin
+    round_robin = [x for i, x in enumerate(times) if i % sites == 0]
+    assert gap_cv(round_robin) < 0.7
+
+
+def test_split_arrivals_rejects_bad_site_count():
+    from repro.runtime.openloop import split_arrivals
+
+    with pytest.raises(ValueError, match="sites"):
+        split_arrivals([1, 2, 3], 0, random.Random(0))
+
+
+def test_replicated_drive_reports_per_site_and_availability():
+    config = OpenLoopConfig(
+        adt_kind="counter",
+        objects=6,
+        transactions=40,
+        arrival_rate=2.0,
+        sites=2,
+        site_crashes=((1, 8, 20),),
+    )
+    report = drive(config, seed=0)
+    assert report.sites == 2
+    assert len(report.per_site) == 2
+    assert sum(r["arrivals"] for r in report.per_site) == report.offered
+    assert report.per_site[1]["failures"] == 1
+    assert 0.0 < report.availability <= 1.0
+    assert "availability" in report.format()
+
+
+def test_replicated_drive_availability_beats_single_site_outage():
+    # EXP-C17 in miniature: a site lost for good.  With a second copy
+    # the service keeps committing; the single site alone cannot.
+    base = dict(
+        adt_kind="counter", objects=6, transactions=40, arrival_rate=2.0
+    )
+    replicated = drive(
+        OpenLoopConfig(sites=2, site_crashes=((1, 8, 0),), **base), seed=0
+    )
+    alone = drive(
+        OpenLoopConfig(sites=1, site_crashes=((0, 8, 0),), **base), seed=0
+    )
+    assert replicated.availability > alone.availability
+
+
+def test_replicated_drive_rejects_workers():
+    config = OpenLoopConfig(sites=2)
+    with pytest.raises(ValueError, match="lockstep"):
+        drive(config, seed=0, workers=2)

@@ -196,6 +196,25 @@ class TestRunCommand:
         assert len(results) == 1 and results[0].ok
 
 
+    def test_run_with_sites_reports_per_site_accounting(self, capsys):
+        argv = [
+            "run", "counter",
+            "--sites", "2",
+            "--site-crash", "1@5-15",
+            "--transactions", "6",
+            "--ops", "2",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "counter/DU/x2" in out
+        assert "site 0" in out and "site 1" in out
+        assert "requalified" in out
+
+    def test_run_sites_rejects_workers(self):
+        with pytest.raises(SystemExit, match="lockstep"):
+            main(["run", "counter", "--sites", "2", "--workers", "2"])
+
+
 class TestTortureValidation:
     def test_rejects_zero_schedules(self):
         with pytest.raises(SystemExit, match="--schedules must be >= 1"):

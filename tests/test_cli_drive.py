@@ -149,3 +149,53 @@ class TestDrive:
             ]
 
         assert counters(parallel) == counters(serial)
+
+
+class TestReplicatedDrive:
+    @pytest.mark.parametrize(
+        "argv, match",
+        [
+            (SMALL + ["--sites", "0"], "--sites must be >= 1"),
+            (
+                SMALL + ["--sites", "2", "--shards", "2"],
+                "pick one axis",
+            ),
+            (
+                SMALL + ["--sites", "2", "--workers", "2"],
+                "lockstep",
+            ),
+            (
+                SMALL + ["--sites", "2", "--site-crash", "bogus"],
+                "--site-crash must look like",
+            ),
+            (
+                SMALL + ["--sites", "2", "--site-crash", "5@3"],
+                "out of range",
+            ),
+            (
+                SMALL + ["--sites", "2", "--site-crash", "1@9-4"],
+                "after the fail tick",
+            ),
+        ],
+    )
+    def test_rejects_bad_replication_arguments(self, argv, match):
+        with pytest.raises(SystemExit, match=match):
+            main(argv)
+
+    def test_replicated_drive_reports_per_site_rows(self, capsys):
+        code = main(
+            SMALL + ["--sites", "2", "--site-crash", "1@8-20", "--seed", "1"]
+        )
+        out = _out(capsys)
+        assert code == 0
+        assert "/x2/sc1" in out
+        assert "availability" in out
+        assert "site 0" in out and "site 1" in out
+
+    def test_site_crash_without_sites_uses_replicated_path(self, capsys):
+        # --site-crash alone (sites=1) models a total outage window
+        code = main(SMALL + ["--site-crash", "0@5-12"])
+        out = _out(capsys)
+        assert code == 0
+        assert "/sc1" in out
+        assert "availability" in out

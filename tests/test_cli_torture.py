@@ -106,3 +106,55 @@ class TestTortureCommand:
         )
         assert code == 0
         assert "all invariants held" in out
+
+
+class TestSiteCrashCampaign:
+    def test_sites_runs_the_site_crash_campaign(self, capsys):
+        code, out = run(
+            [
+                "torture",
+                "--adt", "counter",
+                "--recovery", "du",
+                "--sites", "2",
+                "--schedules", "4",
+                "--transactions", "4",
+            ],
+            capsys,
+        )
+        assert code == 0
+        assert "counter/DU/x2" in out
+        assert "all invariants held" in out
+
+    def test_skip_catchup_negative_control_exits_one(self, capsys):
+        code, out = run(
+            [
+                "torture",
+                "--adt", "counter",
+                "--recovery", "du",
+                "--sites", "2",
+                "--schedules", "8",
+                "--transactions", "4",
+                "--inject-bug", "skip-catchup",
+            ],
+            capsys,
+        )
+        assert code == 1
+        assert "VIOLATIONS" in out or "violation" in out.lower()
+
+    def test_skip_catchup_requires_sites(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit, match="needs --sites"):
+            main(["torture", "--inject-bug", "skip-catchup"])
+
+    def test_log_fault_bug_rejected_with_sites(self, capsys):
+        import pytest
+
+        with pytest.raises(SystemExit, match="skip-catchup"):
+            main(
+                [
+                    "torture",
+                    "--sites", "2",
+                    "--inject-bug", "skip-commit-force",
+                ]
+            )
