@@ -455,7 +455,7 @@ def _cmd_run_replicated(args, seed: int, site_crashes) -> int:
     system, with ``--site-crash`` schedules fired from the tick clock."""
     import random
 
-    from .runtime.scheduler import Scheduler
+    from .runtime.scheduler import Scheduler, schedule_wake
     from .runtime.torture import (
         TortureConfig,
         build_replicated_torture_system,
@@ -493,6 +493,11 @@ def _cmd_run_replicated(args, seed: int, site_crashes) -> int:
                 system.recover_site(site)
                 progressed = True
         return progressed
+
+    drive_sites.next_wake = schedule_wake(
+        t for _, fail_tick, recover_tick in site_crashes
+        for t in (fail_tick, recover_tick)
+    )
 
     scheduler = Scheduler(
         system,
@@ -773,6 +778,17 @@ def cmd_trace_report(args) -> int:
     return 0
 
 
+def _add_scheduler_arg(p) -> None:
+    p.add_argument(
+        "--scheduler",
+        choices=("auto", "polling"),
+        default="auto",
+        help="main-loop strategy: 'auto' jumps provably-dead ticks via "
+        "the wake calendar, 'polling' walks every tick (histories, "
+        "metrics and traces are byte-identical either way)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -857,6 +873,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the (configuration, seed) cells over N worker processes "
         "(1 = serial; output is byte-identical either way)",
     )
+    _add_scheduler_arg(p)
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
@@ -921,6 +938,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash site S at tick F, recovering at tick R (omit R or "
         "use 'end' to keep it down); repeatable",
     )
+    _add_scheduler_arg(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser(
@@ -1061,6 +1079,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash site S at tick F, recovering at tick R (omit R or "
         "use 'end' to keep it down); repeatable",
     )
+    _add_scheduler_arg(p)
     p.set_defaults(func=cmd_drive)
 
     p = sub.add_parser(
@@ -1166,6 +1185,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="fan the schedules over N worker processes (1 = serial; "
         "the report is byte-identical either way)",
     )
+    _add_scheduler_arg(p)
     p.set_defaults(func=cmd_torture)
 
     p = sub.add_parser(
@@ -1186,6 +1206,12 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "scheduler", "auto") == "polling":
+        # The env var (not a Scheduler kwarg) so the choice propagates
+        # through worker pools and every internally-built scheduler.
+        import os
+
+        os.environ["REPRO_POLLING_SCHEDULER"] = "1"
     return args.func(args)
 
 

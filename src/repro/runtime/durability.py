@@ -26,7 +26,7 @@ transaction aborted.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..adts.base import ADT
 from ..core.conflict import ConflictRelation
@@ -140,6 +140,17 @@ class DurableObject(ManagedObject):
     def tick(self) -> None:
         """Scheduler tick: drive the log's group-commit hold timer."""
         self.wal.log.tick()
+
+    def next_deadline(self) -> Optional[int]:
+        """Ticks until this object's held batch flushes (``None`` when
+        the log holds no batch) — the log's hold timer is this object's
+        only tick-driven deadline."""
+        return self.wal.log.next_deadline()
+
+    def advance_ticks(self, ticks: int) -> None:
+        """Advance the log's hold timer ``ticks`` steps at once (valid
+        only strictly short of :meth:`next_deadline`)."""
+        self.wal.log.advance(ticks)
 
     def abort(self, txn: str) -> None:
         had_events = txn in {e.txn for e in self._events}
@@ -352,7 +363,7 @@ def run_with_crashes(
     instances whose transaction died restart as fresh transactions, like
     deadlock victims.  Returns ``(metrics, crashes)``.
     """
-    from .scheduler import Scheduler
+    from .scheduler import Scheduler, periodic_wake
 
     crashes = 0
 
@@ -364,6 +375,8 @@ def run_with_crashes(
             scheduler.handle_crash(victims, tick)
             return True
         return False
+
+    crash_on_schedule.next_wake = periodic_wake(crash_every)
 
     scheduler = Scheduler(
         system,

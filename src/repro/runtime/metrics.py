@@ -74,6 +74,12 @@ class RunMetrics:
     ro_committed: int = 0
     ro_snapshot_reads: int = 0
     ro_aborts: int = 0
+    #: wake-calendar accounting (event-driven scheduler): ticks the
+    #: calendar proved dead — skipped in one jump by the event-driven
+    #: mode, walked cheaply by polling, counted identically by both —
+    #: and the number of dead stretches that ended in a scheduled wake.
+    dead_ticks_elided: int = 0
+    calendar_wakeups: int = 0
     #: present when the run executed under fault injection.
     faults: Optional[FaultCounters] = None
 
@@ -134,6 +140,8 @@ class RunMetrics:
             self.ro_committed,
             self.ro_snapshot_reads,
             self.ro_aborts,
+            self.dead_ticks_elided,
+            self.calendar_wakeups,
             round(self.throughput, 4),
         )
 
@@ -168,6 +176,8 @@ class MetricsSummary:
     mean_ro_committed: float = 0.0
     mean_ro_snapshot_reads: float = 0.0
     mean_ro_aborts: float = 0.0
+    mean_dead_ticks_elided: float = 0.0
+    mean_calendar_wakeups: float = 0.0
     #: FaultCounters of every run merged (None when no run carried any).
     faults: Optional[FaultCounters] = None
 
@@ -209,6 +219,8 @@ def summarize(label: str, runs: Sequence[RunMetrics]) -> MetricsSummary:
         mean_ro_committed=mean("ro_committed"),
         mean_ro_snapshot_reads=mean("ro_snapshot_reads"),
         mean_ro_aborts=mean("ro_aborts"),
+        mean_dead_ticks_elided=mean("dead_ticks_elided"),
+        mean_calendar_wakeups=mean("calendar_wakeups"),
         faults=faults,
     )
 
@@ -230,6 +242,8 @@ _OPTIONAL_COLUMNS: Tuple[Tuple[str, str], ...] = (
     ("ro-commit", "mean_ro_committed"),
     ("ro-reads", "mean_ro_snapshot_reads"),
     ("ro-abort", "mean_ro_aborts"),
+    ("elided", "mean_dead_ticks_elided"),
+    ("wakeups", "mean_calendar_wakeups"),
 )
 
 

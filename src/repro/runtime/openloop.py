@@ -46,7 +46,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .metrics import RunMetrics
-from .scheduler import Scheduler, TransactionScript
+from .scheduler import Scheduler, TransactionScript, schedule_wake
 from .sharding import ShardedSystem, build_sharded_system, shard_of
 from .trace import PERCENTILES, TraceCollector, _percentile
 from .workloads import _script
@@ -666,6 +666,11 @@ def _drive_replicated(
                 progressed = True
         return progressed
 
+    drive_sites.next_wake = schedule_wake(
+        t for _, fail_tick, recover_tick in config.site_crashes
+        for t in (fail_tick, recover_tick)
+    )
+
     start = time.perf_counter()
     scheduler = Scheduler(
         system,
@@ -876,6 +881,8 @@ _ADDITIVE_FIELDS = (
     "ro_committed",
     "ro_snapshot_reads",
     "ro_aborts",
+    "dead_ticks_elided",
+    "calendar_wakeups",
 )
 
 

@@ -21,19 +21,83 @@ The scheduler is the measurement instrument for the EXP-C* experiments:
 it never inspects the conflict relation or recovery method itself, so
 differences in the metrics are attributable to the
 (``Conflict``, ``View``) configuration under test.
+
+The main loop is event-driven: a *wake calendar* — fed by backoff
+windows, open-loop arrivals, ``wait_for`` releases, the ``on_tick``
+hook's declared schedule and the durability layer's group-commit
+hold-timer deadlines — names the next tick at which anything can
+happen, and the stretch of provably-dead ticks before it is jumped in
+one step instead of walked.  The elision is semantically invisible:
+histories, metrics, RNG draws and JSONL traces are byte-identical to
+the walk-every-tick loop (``event_driven=False``, or the
+``REPRO_POLLING_SCHEDULER=1`` environment escape hatch).
 """
 
 from __future__ import annotations
 
+import bisect
+import os
 import random
 from dataclasses import dataclass
-from typing import FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core.events import Invocation
 from .errors import InvalidTransactionState
 from .lock_manager import WaitsForGraph
 from .metrics import RunMetrics
 from .system import TransactionSystem
+
+#: Environment escape hatch: ``REPRO_POLLING_SCHEDULER=1`` forces the
+#: classic walk-every-tick loop even where the wake calendar could
+#: elide dead ticks.  Histories, metrics and traces are identical
+#: either way — this exists to cheaply rule the elision in or out when
+#: debugging.
+POLLING_ENV = "REPRO_POLLING_SCHEDULER"
+
+#: Live-transaction / waits-for rows printed by the non-convergence
+#: diagnostic before truncating.
+_DIAG_LIMIT = 20
+
+
+def periodic_wake(period: int) -> Callable[[int], Optional[int]]:
+    """A ``next_wake`` function for a hook that acts when
+    ``tick % period == 0`` (checkpoint and crash schedules).
+
+    Attach it to an ``on_tick`` hook (``hook.next_wake = ...``) so the
+    wake calendar knows the hook is a no-op between its periods.  The
+    contract for any ``next_wake(tick)``: return a tick ``> tick`` at or
+    before the hook's next possible action (or ``None`` for never) —
+    being early is safe, being late would skip the action.
+    """
+
+    def next_wake(tick: int) -> Optional[int]:
+        if not period:
+            return None
+        return ((tick // period) + 1) * period
+
+    return next_wake
+
+
+def schedule_wake(ticks: Iterable[int]) -> Callable[[int], Optional[int]]:
+    """A ``next_wake`` function for a hook driven by a fixed list of
+    scheduled ticks (site-crash fail/recover schedules).  Zero entries
+    (the "never recover" sentinel) are ignored."""
+    events = sorted({int(t) for t in ticks if t})
+
+    def next_wake(tick: int) -> Optional[int]:
+        i = bisect.bisect_right(events, tick)
+        return events[i] if i < len(events) else None
+
+    return next_wake
 
 
 @dataclass(frozen=True)
@@ -69,6 +133,11 @@ class _LiveTxn:
     #: transactions (incarnations) that must finish before re-entry —
     #: the surviving members of the deadlock cycle this entry died in.
     wait_for: FrozenSet[str] = frozenset()
+    #: set exactly once, at the transition that finishes the script
+    #: (commit success, read-only completion, restart-budget
+    #: exhaustion, or crash-time in-doubt resolution): retired entries
+    #: leave the scheduler's active list and are never scanned again.
+    retired: bool = False
 
     @property
     def done(self) -> bool:
@@ -90,11 +159,22 @@ class Scheduler:
         on_tick=None,
         trace=None,
         arrivals: Optional[Mapping[str, int]] = None,
+        event_driven="auto",
     ):
         names = [s.name for s in scripts]
         if len(set(names)) != len(names):
             raise ValueError("script names must be unique")
+        if event_driven not in (True, False, "auto"):
+            raise ValueError(
+                "event_driven must be True, False or 'auto' (got %r)"
+                % (event_driven,)
+            )
         self.system = system
+        #: ``"auto"`` elides provably-dead ticks whenever every tick
+        #: source can report its next wake; ``True`` additionally raises
+        #: if a source cannot; ``False`` keeps the walk-every-tick loop
+        #: (histories, metrics and traces are identical either way).
+        self.event_driven = event_driven
         self.scripts = tuple(scripts)
         self.rng = random.Random(seed)
         self.max_restarts = max_restarts
@@ -113,6 +193,14 @@ class Scheduler:
         self._live: List[_LiveTxn] = [
             _LiveTxn(script=s, txn=s.name) for s in scripts
         ]
+        #: the not-yet-retired view of ``_live``, compacted lazily when
+        #: a retirement dirties it — replaces the per-tick
+        #: ``_is_retired`` re-filter (and its ``system.status`` calls).
+        self._active: List[_LiveTxn] = list(self._live)
+        self._dirty = False
+        self._system_tick = getattr(system, "tick", None)
+        self._system_next_deadline = getattr(system, "next_deadline", None)
+        self._system_advance = getattr(system, "advance_ticks", None)
         #: open-loop arrivals (script name -> arrival tick): the script
         #: enters the system at its arrival tick rather than at tick 1,
         #: independent of how many earlier transactions have finished —
@@ -143,27 +231,83 @@ class Scheduler:
             # tick counter — exactly as ``metrics.ticks`` does.
             self.trace.begin_tick(0)
             self.trace.emit("run-start", label=self.metrics.label)
-        for tick in range(1, self.max_ticks + 1):
-            live = [t for t in self._live if not self._is_retired(t)]
-            if not live:
+        capable = self._elision_ready()
+        if self.event_driven is True and not capable:
+            raise ValueError(
+                "event_driven=True needs every tick source to expose its "
+                "next wake: the on_tick hook must carry a next_wake(tick) "
+                "attribute and the system must offer next_deadline()/"
+                "advance_ticks() alongside tick()"
+            )
+        elide = (
+            capable
+            and self.event_driven is not False
+            and os.environ.get(POLLING_ENV) != "1"
+        )
+        # A script can retire outside a scan transition (crash-time
+        # in-doubt resolution commits a done entry); sweep before the
+        # loop so re-entry after a crash starts from a clean view.
+        for entry in self._active:
+            if not entry.retired and self._is_retired(entry):
+                self._retire(entry)
+        self._compact()
+        # ``next_live`` is the wake calendar's head: the earliest tick
+        # at which anything — a backoff expiry, an arrival, the on_tick
+        # hook, a hold-timer flush — can possibly happen.  Ticks before
+        # it are provably dead: no event, no RNG draw, no progress.
+        horizon = self.max_ticks + 1  # sentinel: no wake source ahead
+        next_live = 0
+        if capable and self._active:
+            next_live = self._wake_plan(0, horizon)
+        converged = False
+        tick = 0
+        while tick < self.max_ticks:
+            tick += 1
+            if not self._active:
+                converged = True
                 break
             self.metrics.ticks = tick
             if self.trace is not None:
                 self.trace.begin_tick(tick)
-            progressed = self._tick(tick, live)
+            if capable and tick < next_live:
+                # Dead tick.  The polling loop still walks it (one
+                # ``system.tick()`` to advance hold timers); the
+                # event-driven loop jumps the whole stretch with one
+                # ``advance_ticks`` — the calendar guarantees no flush
+                # deadline falls inside the skipped window.
+                if elide:
+                    target = min(next_live - 1, self.max_ticks)
+                    if self._system_advance is not None:
+                        self._system_advance(target - tick + 1)
+                    tick = target
+                    self.metrics.ticks = tick
+                    if self.trace is not None:
+                        self.trace.begin_tick(tick)
+                elif self._system_tick is not None:
+                    self._system_tick()
+                continue
+            live = self._active
+            if self._any_runnable(tick, live):
+                progressed = self._tick(tick, live)
+            else:
+                # Nothing runnable: skip the scan — and its RNG shuffle
+                # — entirely.  Both modes take this branch on the same
+                # ticks, so they draw the same RNG sequence: a shuffle
+                # happens exactly on the ticks where the scan could act.
+                progressed = False
             if self.on_tick is not None:
                 progressed = bool(self.on_tick(tick)) or progressed
             # Drive durability hold-timers: a held group-commit batch
             # flushes deterministically once its hold window expires.
-            system_tick = getattr(self.system, "tick", None)
-            if system_tick is not None:
-                system_tick()
+            if self._system_tick is not None:
+                self._system_tick()
             if not progressed:
                 self._break_deadlock(tick, live)
-        else:
-            raise RuntimeError(
-                "scheduler did not converge within %d ticks" % self.max_ticks
-            )
+            self._compact()
+            if capable and self._active:
+                next_live = self._wake_plan(tick, horizon)
+        if not converged:
+            raise RuntimeError(self._nonconvergence_report())
         self._harvest_force_accounting()
         if self.trace is not None:
             self.trace.emit(
@@ -172,6 +316,147 @@ class Scheduler:
                 metrics=self.metrics.counters(),
             )
         return self.metrics
+
+    def _elision_ready(self) -> bool:
+        """Can every source of future work report its next wake tick?"""
+        hook_ok = self.on_tick is None or callable(
+            getattr(self.on_tick, "next_wake", None)
+        )
+        system_ok = self._system_tick is None or (
+            callable(self._system_next_deadline)
+            and callable(self._system_advance)
+        )
+        return hook_ok and system_ok
+
+    def _any_runnable(self, tick: int, live: List[_LiveTxn]) -> bool:
+        """Could any entry act at ``tick``?  Mirrors the skip checks at
+        the top of :meth:`_tick`.  Filtering ``wait_for`` here is safe:
+        statuses are final once set and incarnation names never reuse,
+        so the scan's own filter would reach the same answer."""
+        for entry in live:
+            if entry.wait_for:
+                entry.wait_for = frozenset(
+                    t
+                    for t in entry.wait_for
+                    if self.system.status(t) == "active"
+                )
+                if entry.wait_for:
+                    continue
+            if entry.backoff_until > tick:
+                continue
+            return True
+        return False
+
+    def _next_wake(self, tick: int) -> Optional[int]:
+        """The earliest tick after ``tick`` at which anything can happen.
+
+        Sources: a backoff window expiring (an entry is runnable *at*
+        ``backoff_until``, so that tick itself is the wake — open-loop
+        arrivals are modeled as initial backoffs and need no separate
+        entry), an entry already runnable or newly released from
+        ``wait_for`` (wakes at ``tick + 1``), the ``on_tick`` hook's
+        declared ``next_wake``, and the system's group-commit hold-timer
+        deadline.  ``None`` means no source of future work exists at
+        all.  Entries still waiting out winners contribute nothing:
+        they wake via a status change, which needs a processed tick.
+        """
+        floor = tick + 1
+        wake: Optional[int] = None
+        for entry in self._active:
+            if entry.wait_for:
+                # Same idempotent filter as the scan: a waited-on
+                # transaction may have finished during the tick that
+                # just ran, releasing this entry for the next tick.
+                entry.wait_for = frozenset(
+                    t
+                    for t in entry.wait_for
+                    if self.system.status(t) == "active"
+                )
+                if entry.wait_for:
+                    continue
+            w = entry.backoff_until if entry.backoff_until > tick else floor
+            if wake is None or w < wake:
+                if w <= floor:
+                    return floor
+                wake = w
+        if self.on_tick is not None:
+            hook = self.on_tick.next_wake(tick)
+            if hook is not None:
+                w = max(int(hook), floor)
+                if wake is None or w < wake:
+                    if w <= floor:
+                        return floor
+                    wake = w
+        if self._system_next_deadline is not None:
+            deadline = self._system_next_deadline()
+            if deadline is not None:
+                w = tick + max(int(deadline), 1)
+                if wake is None or w < wake:
+                    wake = w
+        return wake
+
+    def _wake_plan(self, tick: int, horizon: int) -> int:
+        """Consult the wake calendar after ``tick``'s work is done and
+        account the dead stretch ahead of the next wake.
+
+        The accounting (``dead_ticks_elided``/``calendar_wakeups`` and
+        one ``calendar-wake`` trace event per stretch) runs in *both*
+        scheduler modes whenever the calendar is available, so polling
+        and event-driven runs stay byte-identical; only whether the
+        stretch is walked or jumped differs.  A stretch that runs into
+        the tick budget records a wake of 0 (nothing ever wakes).
+        """
+        wake = self._next_wake(tick)
+        next_live = horizon if wake is None else min(wake, horizon)
+        elided = min(next_live - 1, self.max_ticks) - tick
+        if elided > 0:
+            self.metrics.dead_ticks_elided += elided
+            woke = next_live if next_live <= self.max_ticks else 0
+            if woke:
+                self.metrics.calendar_wakeups += 1
+            if self.trace is not None:
+                self.trace.emit("calendar-wake", wake=woke, elided=elided)
+        return next_live
+
+    def _retire(self, entry: _LiveTxn) -> None:
+        entry.retired = True
+        self._dirty = True
+
+    def _compact(self) -> None:
+        if self._dirty:
+            self._active = [t for t in self._active if not t.retired]
+            self._dirty = False
+
+    def _nonconvergence_report(self) -> str:
+        """Snapshot of the stuck state for the non-convergence error:
+        enough to debug a hung run from a CI log alone."""
+        lines = [
+            "scheduler did not converge within %d ticks" % self.max_ticks
+        ]
+        live = [t for t in self._live if not t.retired]
+        lines.append("live transactions (%d):" % len(live))
+        for entry in live[:_DIAG_LIMIT]:
+            parts = [
+                "%s[%s]" % (entry.txn, self.system.status(entry.txn)),
+                "step=%d/%d" % (entry.step, len(entry.script.steps)),
+                "restarts=%d" % entry.restarts,
+                "backoff_until=%d" % entry.backoff_until,
+            ]
+            if entry.script.read_only:
+                parts.append("read_only")
+            if entry.wait_for:
+                parts.append("wait_for=%s" % ",".join(sorted(entry.wait_for)))
+            lines.append("  " + " ".join(parts))
+        if len(live) > _DIAG_LIMIT:
+            lines.append("  ... and %d more" % (len(live) - _DIAG_LIMIT))
+        edges = sorted(self._waits.edges())
+        if edges:
+            lines.append("waits-for edges (%d):" % len(edges))
+            for waiter, holder in edges[:_DIAG_LIMIT]:
+                lines.append("  %s -> %s" % (waiter, holder))
+            if len(edges) > _DIAG_LIMIT:
+                lines.append("  ... and %d more" % (len(edges) - _DIAG_LIMIT))
+        return "\n".join(lines)
 
     def _harvest_force_accounting(self) -> None:
         """Copy the system's cumulative log-force totals into the metrics."""
@@ -237,6 +522,14 @@ class Scheduler:
                             backoff_until=0,
                             reason="crash",
                         )
+        # Crash-time retirements happen outside a scan transition: a
+        # victim may have exhausted its restart budget just now, and
+        # in-doubt resolution can have committed a done entry.  Sweep so
+        # the active list stays in step with the system's statuses.
+        for entry in self._active:
+            if not entry.retired and self._is_retired(entry):
+                self._retire(entry)
+        self._compact()
         self._waits = WaitsForGraph()
 
     def _is_retired(self, live: _LiveTxn) -> bool:
@@ -273,6 +566,7 @@ class Scheduler:
             if entry.done:
                 if self.system.commit(entry.txn):
                     self.metrics.committed += 1
+                    self._retire(entry)
                     self._waits.remove_transaction(entry.txn)
                     if self.trace is not None:
                         self.trace.emit(
@@ -345,6 +639,7 @@ class Scheduler:
         if entry.done:
             self.system.finish_readonly(entry.txn)
             self.metrics.ro_committed += 1
+            self._retire(entry)
             self._waits.remove_transaction(entry.txn)
             if self.trace is not None:
                 self.trace.emit(
@@ -468,6 +763,8 @@ class Scheduler:
                     backoff_until=entry.backoff_until,
                     reason=reason,
                 )
+        else:
+            self._retire(entry)  # restart budget exhausted
 
 
 def run_scripts(

@@ -244,6 +244,16 @@ class ManagedObject:
         """One scheduler tick elapsed (durability hold-timers hang off
         this; the volatile base object has none)."""
 
+    def next_deadline(self) -> Optional[int]:
+        """Ticks until this object's next durability deadline (a held
+        group-commit batch flushing), or ``None`` — the volatile base
+        object never schedules one."""
+        return None
+
+    def advance_ticks(self, ticks: int) -> None:
+        """Advance durability timers ``ticks`` steps at once; valid only
+        strictly short of :meth:`next_deadline`.  No-op without a log."""
+
     def commit(self, txn: str) -> None:
         # Advance the committed macro-state *before* the recovery manager
         # discards the transaction's executed-operation record.
@@ -519,6 +529,26 @@ class TransactionSystem:
         (held group-commit batches flush deterministically on expiry)."""
         for obj in self.objects.values():
             obj.tick()
+
+    def next_deadline(self) -> Optional[int]:
+        """Ticks until the earliest durability deadline across every
+        object (the next held group-commit batch to flush on hold-timer
+        expiry), or ``None`` when no object holds a batch.  This is the
+        durability layer's feed into the scheduler's wake calendar."""
+        deadline: Optional[int] = None
+        for obj in self.objects.values():
+            d = obj.next_deadline()
+            if d is not None and (deadline is None or d < deadline):
+                deadline = d
+        return deadline
+
+    def advance_ticks(self, ticks: int) -> None:
+        """Advance every object's durability timers ``ticks`` steps at
+        once — the bulk equivalent of ``ticks`` :meth:`tick` calls,
+        valid only strictly short of :meth:`next_deadline` (each log
+        enforces that no flush falls inside the jump)."""
+        for obj in self.objects.values():
+            obj.advance_ticks(ticks)
 
     def force_accounting(self) -> Tuple[int, int, int]:
         """Sum ``(forces, force_requests, forced_records)`` over every

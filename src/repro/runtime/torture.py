@@ -45,7 +45,7 @@ from .durability import CrashableSystem, DurableObject
 from .faults import CrashPoint, FaultPlan, FaultyStableLog, RetryPolicy
 from .metrics import FaultCounters
 from .replication import ReplicatedSystem, ReplicationError, build_replicated_system
-from .scheduler import Scheduler
+from .scheduler import Scheduler, periodic_wake, schedule_wake
 from .wal import CommitRecord, GroupCommitPolicy, IntentionsRecord
 from .workloads import (
     escrow_workload,
@@ -384,6 +384,8 @@ def run_schedule(
                 if not obj.locks.holders() and len(obj.wal.log):
                     obj.checkpoint()
         return False
+
+    maybe_checkpoint.next_wake = periodic_wake(config.checkpoint_every)
 
     scheduler = Scheduler(
         system,
@@ -793,6 +795,10 @@ def run_site_schedule(
                 system.recover_site(crash.site)
                 progressed = True
         return progressed
+
+    drive_sites.next_wake = schedule_wake(
+        t for crash in crashes for t in (crash.fail_tick, crash.recover_tick)
+    )
 
     scheduler = Scheduler(
         system,

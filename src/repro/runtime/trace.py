@@ -40,7 +40,7 @@ import math
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 #: Bumped when event kinds or required fields are added.
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 
 #: The latency percentiles every report emits (``trace-report`` and the
 #: open-loop driver share this constant so trend-gate fields line up).
@@ -98,6 +98,12 @@ EVENT_SCHEMA: Dict[str, Tuple[str, ...]] = {
     "site-failure": ("site", "victims", "resolved"),
     "site-recovery": ("site", "copies"),
     "copy-requalified": ("obj", "site", "csn"),
+    # wake calendar (schema v5): one event per dead-tick stretch the
+    # calendar proved empty, emitted identically by the polling and
+    # event-driven scheduler modes.  ``elided`` is the stretch length;
+    # ``wake`` the tick processing resumed at (0: the stretch ran into
+    # the tick budget and nothing ever woke).
+    "calendar-wake": ("wake", "elided"),
 }
 
 #: ``txn-abort`` reasons with a defined meaning.
@@ -225,6 +231,8 @@ COUNTER_FIELDS = (
     "ro_committed",
     "ro_snapshot_reads",
     "ro_aborts",
+    "dead_ticks_elided",
+    "calendar_wakeups",
 )
 
 
@@ -280,6 +288,10 @@ def reconstruct_counters(events: Sequence[Dict[str, Any]]) -> Dict[str, int]:
             counters["ro_snapshot_reads"] += 1
         elif kind == "ro-abort":
             counters["ro_aborts"] += 1
+        elif kind == "calendar-wake":
+            counters["dead_ticks_elided"] += int(event.get("elided", 0))
+            if int(event.get("wake", 0)):
+                counters["calendar_wakeups"] += 1
     return counters
 
 

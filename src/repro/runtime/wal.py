@@ -240,6 +240,32 @@ class StableLog:
         """Force requests currently waiting in the held batch."""
         return self._pending_forces
 
+    def next_deadline(self) -> Optional[int]:
+        """Ticks until the held batch's hold timer would flush it.
+
+        ``None`` when no batch is held (no timer is running).  The wake
+        calendar uses this to skip dead ticks without ever jumping over
+        a hold-timer expiry: with ``h`` hold ticks accrued, the flush
+        fires on the ``max_hold - h + 1``-th future :meth:`tick`.
+        """
+        if self._pending_forces == 0:
+            return None
+        return self.policy.max_hold - self._hold_ticks + 1
+
+    def advance(self, ticks: int) -> None:
+        """Advance the hold timer ``ticks`` steps at once, equivalent to
+        that many :meth:`tick` calls on the condition — enforced here —
+        that none of them would have flushed the held batch."""
+        if ticks <= 0 or self._pending_forces == 0:
+            return
+        deadline = self.policy.max_hold - self._hold_ticks + 1
+        if ticks >= deadline:
+            raise ValueError(
+                "advance(%d) would jump the hold-timer deadline in %d"
+                % (ticks, deadline)
+            )
+        self._hold_ticks += ticks
+
     def force(self) -> None:
         """A synchronous physical flush, absorbing any held batch.
 
